@@ -1,0 +1,81 @@
+"""Design-choice ablations (DESIGN.md §5): cross-relation aggregation,
+GNN depth, and the edge-position feature.
+
+Not in the paper's tables — these probe the architecture decisions the
+paper asserts (max aggregation, 5 layers, position features) at CPU scale.
+"""
+
+from repro.eval.experiments import run_graphbinmatch
+from repro.utils.tables import Table
+
+from benchmarks.common import bench_model_config, crosslang_dataset, run_once
+
+
+def _run_aggregation():
+    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
+    return {
+        agg: run_graphbinmatch(ds, bench_model_config(aggregate=agg, epochs=8))
+        for agg in ("max", "sum", "mean")
+    }
+
+
+def test_ablation_aggregation(benchmark):
+    results = run_once(benchmark, _run_aggregation)
+    table = Table("Ablation: cross-relation aggregation", ["Aggregate", "P", "R", "F1"])
+    for agg, r in results.items():
+        table.add_row(agg, *r.row)
+    print()
+    print(table.render())
+
+
+def _run_depth():
+    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
+    return {
+        depth: run_graphbinmatch(ds, bench_model_config(num_layers=depth, epochs=8))
+        for depth in (1, 3, 5)
+    }
+
+
+def test_ablation_depth(benchmark):
+    results = run_once(benchmark, _run_depth)
+    table = Table("Ablation: number of GATv2 layers", ["Layers", "P", "R", "F1"])
+    for depth, r in results.items():
+        table.add_row(depth, *r.row)
+    print()
+    print(table.render())
+
+
+def _run_positions():
+    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
+    return {
+        flag: run_graphbinmatch(ds, bench_model_config(use_positions=flag, epochs=8))
+        for flag in (True, False)
+    }
+
+
+def test_ablation_edge_positions(benchmark):
+    results = run_once(benchmark, _run_positions)
+    table = Table("Ablation: edge position feature", ["Positions", "P", "R", "F1"])
+    for flag, r in results.items():
+        table.add_row(str(flag), *r.row)
+    print()
+    print(table.render())
+
+
+def _run_pair_features():
+    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
+    return {
+        mode: run_graphbinmatch(ds, bench_model_config(pair_features=mode, epochs=8))
+        for mode in ("concat", "interaction")
+    }
+
+
+def test_ablation_pair_features(benchmark):
+    """The CPU-scale conditioning substitution (DESIGN.md): the paper's
+    plain concat head vs concat ⊕ |a-b| ⊕ a*b."""
+    results = run_once(benchmark, _run_pair_features)
+    table = Table("Ablation: pair head features", ["Head", "P", "R", "F1"])
+    for mode, r in results.items():
+        table.add_row(mode, *r.row)
+    print()
+    print(table.render())

@@ -1,0 +1,37 @@
+"""Table IV — single-language (C++) binary-source matching on POJ-104.
+
+Paper: BinPro 0.40, B2SFinder 0.44, XLIR(LSTM) 0.44, XLIR(Transformer)
+0.85, GraphBinMatch 0.87 (F1).  Shape: same-language matching is easier
+than cross-language for everyone; GraphBinMatch stays on top.
+"""
+
+from repro.baselines.xlir import XLIRConfig
+from repro.eval.experiments import run_feature_baseline, run_graphbinmatch, run_xlir
+from repro.utils.tables import Table
+
+from benchmarks.common import BENCH_SEED, bench_model_config, poj_dataset, run_once
+
+
+def _run():
+    ds, _ = poj_dataset("O0", "clang")
+    results = [
+        run_feature_baseline(ds, "BinPro"),
+        run_feature_baseline(ds, "B2SFinder"),
+        run_xlir(ds, "transformer", XLIRConfig(seed=BENCH_SEED)),
+        run_graphbinmatch(ds, bench_model_config(epochs=16)),
+    ]
+    return results
+
+
+def test_table4_single_language_matching(benchmark):
+    results = run_once(benchmark, _run)
+    table = Table(
+        "Table IV: single-language binary matching (POJ-104-like, calibrated threshold)",
+        ["System", "Precision", "Recall", "F1"],
+    )
+    for r in results:
+        table.add_row(r.system, *r.row)
+    print()
+    print(table.render())
+    by_name = {r.system: r for r in results}
+    assert by_name["GraphBinMatch"].metrics.f1 >= by_name["BinPro"].metrics.f1

@@ -1,0 +1,48 @@
+"""Reverse-engineering workflow: retrieve the source for an unknown binary.
+
+The paper's intro scenario: "when we have a binary code fragment, it would
+be helpful to retrieve its similar source code".  We train a matcher, then
+hand it a *stripped-context* binary (compiled from a C program it never
+saw) and a shelf of candidate Java sources; the pipeline ranks candidates.
+
+    python examples/reverse_engineering.py
+"""
+
+from repro.config import cpu_config, scaled, tiny_data_config
+from repro.core.pipeline import MatcherPipeline, compile_to_views
+from repro.core.trainer import MatchTrainer
+from repro.eval.experiments import build_crosslang_dataset
+from repro.lang.generator import SolutionGenerator
+
+
+def main() -> None:
+    print("== binary → source retrieval ==")
+    dataset, _ = build_crosslang_dataset(
+        tiny_data_config(), binary_langs=["c", "cpp"], source_langs=["java"]
+    )
+    trainer = MatchTrainer(scaled(cpu_config(), epochs=20))
+    trainer.train(dataset)
+    pipe = MatcherPipeline(trainer)
+
+    # The "unknown" binary: a fresh C implementation of gcd.
+    gen = SolutionGenerator(seed=4242)
+    mystery = gen.generate("gcd", 7, "c")
+    views = compile_to_views(mystery.text, "c", opt_level="O1")
+    print(f"mystery binary: {len(views.binary_bytes)} bytes (from {mystery.identifier})")
+
+    # Candidate shelf: Java solutions to several tasks, gcd among them.
+    candidates = []
+    for task in ("gcd", "fibonacci", "sum_array", "binary_search", "collatz_steps"):
+        sf = gen.generate(task, 3, "java")
+        candidates.append((task, sf.text))
+
+    ranked = pipe.rank_sources(views.binary_bytes, [(t, "java") for _, t in candidates])
+    print("\nranked candidates (highest match first):")
+    for rank, (idx, score) in enumerate(ranked, 1):
+        print(f"  {rank}. {candidates[idx][0]:<16} score={score:.3f}")
+    top_task = candidates[ranked[0][0]][0]
+    print(f"\ntop retrieval: {top_task} (ground truth: gcd)")
+
+
+if __name__ == "__main__":
+    main()

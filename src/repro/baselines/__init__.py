@@ -1,0 +1,20 @@
+"""``repro.baselines`` — the comparison systems from the paper's Tables.
+
+* :class:`~repro.baselines.xlir.XLIRModel` — the state-of-the-art neural
+  baseline (Gui et al., SANER 2022): token-sequence encoders over
+  linearized LLVM-IR, in LSTM and Transformer variants, trained with a
+  triplet (ternary) objective in a shared embedding space.
+* :class:`~repro.baselines.binpro.BinPro` — static code properties matched
+  with a bipartite assignment (Miyani et al. 2017).
+* :class:`~repro.baselines.b2sfinder.B2SFinder` — seven traceable features
+  with specificity-weighted matching (Yuan et al., ASE 2019).
+* :class:`~repro.baselines.licca.LICCA` — source-level syntactic/semantic
+  similarity (Vislavski et al., SANER 2018); source-to-source only.
+"""
+
+from repro.baselines.b2sfinder import B2SFinder
+from repro.baselines.binpro import BinPro
+from repro.baselines.licca import LICCA
+from repro.baselines.xlir import XLIRModel
+
+__all__ = ["XLIRModel", "BinPro", "B2SFinder", "LICCA"]

@@ -1,0 +1,168 @@
+"""XLIR reproduction: transformer/LSTM encoders over linearized LLVM-IR.
+
+Following Gui et al. (SANER 2022): the IR is treated as a *token sequence*
+(this is exactly the structural blindness GraphBinMatch's graphs fix), both
+sides are encoded into a common space, and training minimizes a triplet
+loss.  At inference, similarity is ``exp(-||a - b||²)``, a score in (0, 1]
+thresholded like the other systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+import repro.nn as nn
+from repro.data.pairs import MatchingPair
+from repro.graphs.programl import NODE_INSTRUCTION, ProgramGraph
+from repro.nn.functional import pad_sequences
+from repro.nn.tensor import Tensor, no_grad
+from repro.tokenize.tokenizer import IRTokenizer
+from repro.utils.rng import derive_rng
+
+
+def linearize(graph: ProgramGraph) -> str:
+    """Recover the linear IR token stream from a program graph."""
+    lines = [
+        full
+        for full, t in zip(graph.node_full_texts, graph.node_types)
+        if t == NODE_INSTRUCTION
+    ]
+    return "\n".join(lines)
+
+
+@dataclass
+class XLIRConfig:
+    """Scaled hyper-parameters for the XLIR reproduction."""
+
+    encoder: str = "transformer"  # or "lstm"
+    embed_dim: int = 32
+    hidden_dim: int = 48
+    num_layers: int = 2
+    heads: int = 2
+    max_tokens: int = 128
+    max_vocab: int = 512
+    # The triplet objective has a zero-gradient collapse point where every
+    # embedding is identical (loss == margin).  At CPU scale the mean-pooled
+    # encoder starts near it; lr 5e-3 escapes within a few epochs, smaller
+    # rates can sit at loss == margin indefinitely.
+    learning_rate: float = 5e-3
+    epochs: int = 30
+    batch_size: int = 8
+    margin: float = 0.5
+    seed: int = 0
+
+
+class _SequenceEncoder(nn.Module):
+    """Shared encoder: embedding + (LSTM | Transformer) + masked mean pool."""
+
+    def __init__(self, vocab_size: int, cfg: XLIRConfig):  # noqa: D107
+        super().__init__()
+        rng = derive_rng(cfg.seed, "xlir", cfg.encoder)
+        self.cfg = cfg
+        self.embedding = nn.Embedding(vocab_size, cfg.embed_dim, padding_idx=0, rng=rng)
+        if cfg.encoder == "lstm":
+            self.body = nn.LSTM(cfg.embed_dim, cfg.hidden_dim, rng=rng)
+            self.proj = nn.Linear(cfg.hidden_dim, cfg.hidden_dim, rng=rng)
+        elif cfg.encoder == "transformer":
+            self.body = nn.TransformerEncoder(
+                cfg.embed_dim, cfg.heads, cfg.num_layers, max_len=cfg.max_tokens, rng=rng
+            )
+            self.proj = nn.Linear(cfg.embed_dim, cfg.hidden_dim, rng=rng)
+        else:
+            raise ValueError(f"unknown encoder {cfg.encoder!r}")
+
+    def forward(self, token_ids: np.ndarray) -> Tensor:
+        """Encode ``(B, T)`` ids into ``(B, H)`` L2-normalized embeddings."""
+        mask = (token_ids != 0).astype(np.float32)
+        x = self.embedding(token_ids)
+        if self.cfg.encoder == "lstm":
+            all_h, _ = self.body(x, mask)
+        else:
+            all_h = self.body(x, mask)
+        m = Tensor(mask[:, :, None])
+        summed = (all_h * m).sum(axis=1)
+        counts = Tensor(np.maximum(mask.sum(axis=1, keepdims=True), 1.0))
+        pooled = summed / counts
+        out = self.proj(pooled).tanh()
+        norm = (out * out).sum(axis=-1, keepdims=True).sqrt() + 1e-8
+        return out / norm
+
+
+class XLIRModel:
+    """Train/score interface matching the other systems."""
+
+    def __init__(self, config: Optional[XLIRConfig] = None):  # noqa: D107
+        self.cfg = config or XLIRConfig()
+        self.tokenizer: Optional[IRTokenizer] = None
+        self.encoder: Optional[_SequenceEncoder] = None
+
+    # ------------------------------------------------------------ tokens
+    def _encode_texts(self, graphs: Sequence[ProgramGraph]) -> np.ndarray:
+        seqs = [np.asarray(self.tokenizer.encode(linearize(g))) for g in graphs]
+        return pad_sequences(seqs, self.cfg.max_tokens, pad_value=0)
+
+    # ------------------------------------------------------------- train
+    def fit(self, train_pairs: Sequence[MatchingPair]) -> List[float]:
+        """Triplet training on the positive pairs with sampled negatives."""
+        cfg = self.cfg
+        self.tokenizer = IRTokenizer(max_vocab=cfg.max_vocab).train(
+            [linearize(p.left) for p in train_pairs]
+            + [linearize(p.right) for p in train_pairs]
+        )
+        self.encoder = _SequenceEncoder(self.tokenizer.vocab_size, cfg)
+        positives = [p for p in train_pairs if p.label == 1]
+        all_rights = [p.right for p in train_pairs]
+        right_tasks = [p.task_right for p in train_pairs]
+        rng = derive_rng(cfg.seed, "xlir-train")
+        optimizer = nn.Adam(self.encoder.parameters(), lr=cfg.learning_rate)
+        losses: List[float] = []
+        for _ in range(cfg.epochs):
+            order = rng.permutation(len(positives))
+            epoch_losses = []
+            for start in range(0, len(positives), cfg.batch_size):
+                chunk = [positives[i] for i in order[start : start + cfg.batch_size]]
+                if not chunk:
+                    continue
+                anchors = [p.left for p in chunk]
+                pos = [p.right for p in chunk]
+                negs = []
+                for p in chunk:
+                    while True:
+                        j = int(rng.integers(len(all_rights)))
+                        if right_tasks[j] != p.task_left:
+                            negs.append(all_rights[j])
+                            break
+                ids = self._encode_texts(anchors + pos + negs)
+                emb = self.encoder(ids)
+                n = len(chunk)
+                a = emb[np.arange(0, n)]
+                p_e = emb[np.arange(n, 2 * n)]
+                n_e = emb[np.arange(2 * n, 3 * n)]
+                loss = nn.triplet_margin_loss(a, p_e, n_e, margin=cfg.margin)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(loss.item())
+            losses.append(float(np.mean(epoch_losses)) if epoch_losses else 0.0)
+        return losses
+
+    # ------------------------------------------------------------- score
+    def score(self, pairs: Sequence[MatchingPair], batch_size: int = 32) -> np.ndarray:
+        """Similarity ``exp(-d²)`` in (0, 1] per pair."""
+        if self.encoder is None:
+            raise RuntimeError("fit() first")
+        self.encoder.eval()
+        scores: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(pairs), batch_size):
+                chunk = pairs[start : start + batch_size]
+                ids_l = self._encode_texts([p.left for p in chunk])
+                ids_r = self._encode_texts([p.right for p in chunk])
+                el = self.encoder(ids_l).data
+                er = self.encoder(ids_r).data
+                d2 = ((el - er) ** 2).sum(axis=-1)
+                scores.append(np.exp(-d2))
+        return np.concatenate(scores) if scores else np.zeros(0)

@@ -1,0 +1,28 @@
+"""``repro.binary`` — code generation, object format, VM, and decompiler.
+
+The binary half of the paper's pipeline: IR modules are compiled by
+:func:`~repro.binary.codegen.compile_module` (clang-like or gcc-like
+backend), serialized/loaded via :class:`~repro.binary.isa.BinaryProgram`,
+executed by :class:`~repro.binary.vm.VirtualMachine` (test oracle), and
+lifted back to IR by :func:`~repro.binary.decompiler.decompile` (the
+RetDec substitute).
+"""
+
+from repro.binary.codegen import CodegenError, compile_module
+from repro.binary.decompiler import DecompileError, decompile, decompile_bytes
+from repro.binary.isa import BinaryFunction, BinaryProgram, MachineInstr
+from repro.binary.vm import VirtualMachine, VMError, run_binary
+
+__all__ = [
+    "compile_module",
+    "CodegenError",
+    "decompile",
+    "decompile_bytes",
+    "DecompileError",
+    "BinaryProgram",
+    "BinaryFunction",
+    "MachineInstr",
+    "VirtualMachine",
+    "VMError",
+    "run_binary",
+]

@@ -1,0 +1,17 @@
+"""``repro.core`` — the paper's contribution: the GraphBinMatch system."""
+
+from repro.core.model import GraphBinMatch
+from repro.core.node_features import encode_nodes, node_strings, train_tokenizer
+from repro.core.pipeline import MatcherPipeline, compile_to_views
+from repro.core.trainer import MatchTrainer, TrainReport
+
+__all__ = [
+    "GraphBinMatch",
+    "MatchTrainer",
+    "TrainReport",
+    "MatcherPipeline",
+    "compile_to_views",
+    "encode_nodes",
+    "node_strings",
+    "train_tokenizer",
+]

@@ -1,0 +1,14 @@
+"""``repro.data`` — corpus builders: the CLCDSA / POJ-104 substitutes."""
+
+from repro.data.corpus import CodeSample, CorpusBuilder, corpus_statistics
+from repro.data.pairs import MatchingPair, PairDataset, build_pairs, split_tasks
+
+__all__ = [
+    "CodeSample",
+    "CorpusBuilder",
+    "corpus_statistics",
+    "MatchingPair",
+    "PairDataset",
+    "build_pairs",
+    "split_tasks",
+]

@@ -1,0 +1,176 @@
+"""Pair construction and splits for the matching tasks.
+
+Follows §II and §IV-B: solutions to the same task are positive pairs,
+solutions to different tasks negative; positives and negatives are
+balanced; the corpus splits 6:2:2.  Splitting is by *task*, so test-time
+pairs involve problems never seen in training — the generalization the
+matching formulation demands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.corpus import CodeSample
+from repro.graphs.programl import ProgramGraph
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class MatchingPair:
+    """A (left graph, right graph, label) example.
+
+    ``left`` is the binary-side graph (decompiled IR) and ``right`` the
+    source-side graph for binary↔source tasks; for source↔source both are
+    source graphs.
+    """
+
+    left: ProgramGraph
+    right: ProgramGraph
+    label: int
+    task_left: str
+    task_right: str
+
+
+@dataclass
+class PairDataset:
+    """Train/valid/test pair lists."""
+
+    train: List[MatchingPair]
+    valid: List[MatchingPair]
+    test: List[MatchingPair]
+
+    def sizes(self) -> Tuple[int, int, int]:
+        """(train, valid, test) sizes."""
+        return (len(self.train), len(self.valid), len(self.test))
+
+
+def split_tasks(tasks: Sequence[str], seed: int) -> Tuple[List[str], List[str], List[str]]:
+    """Deterministic 6:2:2 split of task names."""
+    rng = derive_rng(seed, "task-split")
+    order = list(rng.permutation(len(tasks)))
+    shuffled = [tasks[i] for i in order]
+    n = len(shuffled)
+    n_train = max(int(round(n * 0.6)), 1)
+    n_valid = max(int(round(n * 0.2)), 1)
+    train = shuffled[:n_train]
+    valid = shuffled[n_train : n_train + n_valid]
+    test = shuffled[n_train + n_valid :]
+    if not test:  # tiny corpora: borrow from train
+        test = [train.pop()]
+    if not valid:
+        valid = [train.pop()]
+    return train, valid, test
+
+
+def _graph_of(sample: CodeSample, side: str) -> ProgramGraph:
+    return sample.decompiled_graph if side == "binary" else sample.source_graph
+
+
+def build_pairs(
+    left_samples: Sequence[CodeSample],
+    right_samples: Sequence[CodeSample],
+    left_side: str,
+    right_side: str,
+    seed: int,
+    max_pairs_per_task: int = 12,
+    eval_neg_ratio: float = 1.0,
+) -> PairDataset:
+    """Positive/negative pairs with a 6:2:2 task split.
+
+    ``left_side``/``right_side`` select which view of each sample is used:
+    ``"binary"`` (decompiled IR graph) or ``"source"`` (front-end IR graph).
+    E.g. Table III's "C/C++ binary vs Java source" passes C/C++ samples as
+    ``left`` with side ``binary`` and Java samples as ``right`` with side
+    ``source``.
+
+    The train split is always balanced (§II).  ``eval_neg_ratio`` sets the
+    negative:positive ratio of the valid/test splits; ratios above 1 model
+    the retrieval-flavoured deployments the paper motivates, where
+    non-matches dominate, and keep the degenerate all-positive predictor's
+    F1 floor low.
+    """
+    tasks = sorted({s.task for s in left_samples} | {s.task for s in right_samples})
+    train_t, valid_t, test_t = split_tasks(tasks, seed)
+    by_task_left: Dict[str, List[CodeSample]] = {}
+    by_task_right: Dict[str, List[CodeSample]] = {}
+    for s in left_samples:
+        by_task_left.setdefault(s.task, []).append(s)
+    for s in right_samples:
+        by_task_right.setdefault(s.task, []).append(s)
+
+    def make_split(split_tasks_list: List[str], split_name: str) -> List[MatchingPair]:
+        rng = derive_rng(seed, "pairs", split_name)
+        positives: List[MatchingPair] = []
+        for task in split_tasks_list:
+            lefts = by_task_left.get(task, [])
+            rights = by_task_right.get(task, [])
+            combos = [
+                (l, r)
+                for l in lefts
+                for r in rights
+                if not (l.language == r.language and l.variant == r.variant)
+            ]
+            if not combos:
+                combos = [(l, r) for l in lefts for r in rights]
+            if len(combos) > max_pairs_per_task:
+                idx = rng.choice(len(combos), size=max_pairs_per_task, replace=False)
+                combos = [combos[i] for i in idx]
+            for l, r in combos:
+                positives.append(
+                    MatchingPair(
+                        _graph_of(l, left_side), _graph_of(r, right_side), 1, task, task
+                    )
+                )
+        # negatives: different-task pairs (balanced for train, ratio'd for eval)
+        ratio = 1.0 if split_name == "train" else eval_neg_ratio
+        target_negatives = int(round(len(positives) * ratio))
+        negatives: List[MatchingPair] = []
+        eligible_tasks = [t for t in split_tasks_list if by_task_left.get(t) and by_task_right.get(t)]
+        if len(eligible_tasks) >= 2:
+            # Half of the training negatives are *hard*: the right side is
+            # the size-closest different-task graph rather than a uniform
+            # draw.  Graph size is the cheapest separating cue; matching it
+            # away forces the model to separate lookalike algorithms by
+            # content, which is where its test-time false positives live.
+            hard_quota = target_negatives // 2 if split_name == "train" else 0
+            right_pool = [
+                (t, s) for t in eligible_tasks for s in by_task_right[t]
+            ]
+            right_sizes = np.asarray(
+                [_graph_of(s, right_side).num_nodes for _, s in right_pool]
+            )
+            while len(negatives) < target_negatives:
+                ti = int(rng.integers(len(eligible_tasks)))
+                lt = eligible_tasks[ti]
+                l = by_task_left[lt][int(rng.integers(len(by_task_left[lt])))]
+                if len(negatives) < hard_quota:
+                    lsize = _graph_of(l, left_side).num_nodes
+                    order = np.argsort(np.abs(right_sizes - lsize), kind="stable")
+                    cands = [int(k) for k in order[:8] if right_pool[int(k)][0] != lt]
+                    if not cands:
+                        continue
+                    rt, r = right_pool[cands[int(rng.integers(len(cands)))]]
+                else:
+                    tj = int(rng.integers(len(eligible_tasks)))
+                    if eligible_tasks[tj] == lt:
+                        continue
+                    rt = eligible_tasks[tj]
+                    r = by_task_right[rt][int(rng.integers(len(by_task_right[rt])))]
+                negatives.append(
+                    MatchingPair(
+                        _graph_of(l, left_side), _graph_of(r, right_side), 0, lt, rt
+                    )
+                )
+        pairs = positives + negatives
+        order = rng.permutation(len(pairs))
+        return [pairs[i] for i in order]
+
+    return PairDataset(
+        train=make_split(train_t, "train"),
+        valid=make_split(valid_t, "valid"),
+        test=make_split(test_t, "test"),
+    )

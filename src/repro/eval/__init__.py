@@ -1,0 +1,13 @@
+"""``repro.eval`` — metrics, threshold sweeps, experiment runners."""
+
+from repro.eval.metrics import ClassificationMetrics, classification_metrics, confusion
+from repro.eval.threshold import sweep_thresholds
+from repro.eval.analysis import node_count_statistics
+
+__all__ = [
+    "ClassificationMetrics",
+    "classification_metrics",
+    "confusion",
+    "sweep_thresholds",
+    "node_count_statistics",
+]

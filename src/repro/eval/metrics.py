@@ -1,0 +1,61 @@
+"""Precision / recall / F1 / accuracy — §IV-E, equations (2)-(4)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass
+class ClassificationMetrics:
+    """The four counts plus the derived scores the paper reports."""
+
+    tp: int
+    tn: int
+    fp: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); 0 when nothing was predicted positive."""
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); 0 when there are no positives."""
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total."""
+        total = self.tp + self.tn + self.fp + self.fn
+        return (self.tp + self.tn) / total if total else 0.0
+
+
+def confusion(labels: np.ndarray, predictions: np.ndarray) -> Tuple[int, int, int, int]:
+    """(tp, tn, fp, fn) from 0/1 arrays."""
+    labels = np.asarray(labels).astype(bool)
+    predictions = np.asarray(predictions).astype(bool)
+    if labels.shape != predictions.shape:
+        raise ValueError("labels and predictions must have the same shape")
+    tp = int(np.sum(labels & predictions))
+    tn = int(np.sum(~labels & ~predictions))
+    fp = int(np.sum(~labels & predictions))
+    fn = int(np.sum(labels & ~predictions))
+    return tp, tn, fp, fn
+
+
+def classification_metrics(labels: np.ndarray, predictions: np.ndarray) -> ClassificationMetrics:
+    """Build :class:`ClassificationMetrics` from 0/1 arrays."""
+    tp, tn, fp, fn = confusion(labels, predictions)
+    return ClassificationMetrics(tp=tp, tn=tn, fp=fp, fn=fn)

@@ -1,0 +1,145 @@
+"""Retrieval-style evaluation: rank source candidates for a binary query.
+
+The paper motivates matching through retrieval use cases — find the source
+file for a binary fragment (reverse engineering) or the binary for a
+vulnerable source file (§I).  This module turns any pairwise scorer into a
+ranked-retrieval evaluator with the standard metrics: MRR, top-k accuracy
+(Hit@k) and mean average precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.pairs import MatchingPair
+from repro.graphs.programl import ProgramGraph
+
+
+@dataclass
+class RetrievalResult:
+    """Aggregate retrieval metrics over a query set."""
+
+    mrr: float
+    hit_at: Dict[int, float]
+    mean_average_precision: float
+    num_queries: int
+
+    def row(self) -> Tuple[float, float, float, float]:
+        """(MRR, Hit@1, Hit@5, MAP) — the usual report columns."""
+        return (
+            self.mrr,
+            self.hit_at.get(1, 0.0),
+            self.hit_at.get(5, 0.0),
+            self.mean_average_precision,
+        )
+
+
+@dataclass
+class RankedQuery:
+    """One query's ranking: candidate order and relevance flags."""
+
+    query_task: str
+    ranked_tasks: List[str]
+    relevant: np.ndarray  # bool per ranked position
+
+    @property
+    def first_relevant_rank(self) -> int:
+        """1-based rank of the first relevant candidate (0 = none found)."""
+        hits = np.flatnonzero(self.relevant)
+        return int(hits[0]) + 1 if hits.size else 0
+
+
+ScoreFn = Callable[[Sequence[MatchingPair]], np.ndarray]
+
+
+def rank_candidates(
+    score_fn: ScoreFn,
+    query: Tuple[ProgramGraph, str],
+    candidates: Sequence[Tuple[ProgramGraph, str]],
+    batch_size: int = 64,
+) -> RankedQuery:
+    """Score a query graph against every candidate and sort descending.
+
+    ``query`` and each candidate are ``(graph, task_name)``; relevance is
+    task equality (the dataset's matching definition, §II).
+    """
+    qg, q_task = query
+    pairs = [
+        MatchingPair(qg, cg, int(q_task == c_task), q_task, c_task)
+        for cg, c_task in candidates
+    ]
+    scores = np.concatenate(
+        [
+            np.atleast_1d(score_fn(pairs[i : i + batch_size]))
+            for i in range(0, len(pairs), batch_size)
+        ]
+    )
+    order = np.argsort(-scores, kind="stable")
+    ranked_tasks = [candidates[i][1] for i in order]
+    relevant = np.asarray([q_task == candidates[i][1] for i in order], dtype=bool)
+    return RankedQuery(q_task, ranked_tasks, relevant)
+
+
+def evaluate_retrieval(
+    score_fn: ScoreFn,
+    queries: Sequence[Tuple[ProgramGraph, str]],
+    candidates: Sequence[Tuple[ProgramGraph, str]],
+    ks: Sequence[int] = (1, 3, 5, 10),
+    batch_size: int = 64,
+) -> RetrievalResult:
+    """Full retrieval sweep: every query ranked against all candidates.
+
+    Queries whose task has no relevant candidate are skipped (their metrics
+    are undefined); if all are skipped the result is all-zero.
+    """
+    rrs: List[float] = []
+    hits: Dict[int, List[float]] = {k: [] for k in ks}
+    aps: List[float] = []
+    for query in queries:
+        has_relevant = any(c_task == query[1] for _, c_task in candidates)
+        if not has_relevant:
+            continue
+        ranked = rank_candidates(score_fn, query, candidates, batch_size)
+        first = ranked.first_relevant_rank
+        rrs.append(1.0 / first if first else 0.0)
+        for k in ks:
+            hits[k].append(1.0 if first and first <= k else 0.0)
+        aps.append(_average_precision(ranked.relevant))
+    n = len(rrs)
+    if n == 0:
+        return RetrievalResult(0.0, {k: 0.0 for k in ks}, 0.0, 0)
+    return RetrievalResult(
+        mrr=float(np.mean(rrs)),
+        hit_at={k: float(np.mean(v)) for k, v in hits.items()},
+        mean_average_precision=float(np.mean(aps)),
+        num_queries=n,
+    )
+
+
+def _average_precision(relevant: np.ndarray) -> float:
+    """AP over one ranking (precision at each relevant position)."""
+    hits = np.flatnonzero(relevant)
+    if hits.size == 0:
+        return 0.0
+    precisions = (np.arange(hits.size) + 1.0) / (hits + 1.0)
+    return float(precisions.mean())
+
+
+def retrieval_corpus_from_samples(
+    samples: Sequence,
+    side: str,
+) -> List[Tuple[ProgramGraph, str]]:
+    """Build a (graph, task) list from :class:`CodeSample` objects.
+
+    ``side`` selects the view: ``"binary"`` (decompiled graph) or
+    ``"source"`` (front-end graph).
+    """
+    if side not in ("binary", "source"):
+        raise ValueError(f"unknown side {side!r}")
+    return [
+        (s.decompiled_graph if side == "binary" else s.source_graph, s.task)
+        for s in samples
+    ]

@@ -1,0 +1,14 @@
+"""``repro.graphs`` — ProGraML-style heterogeneous program graphs."""
+
+from repro.graphs.batch import GraphBatch, batch_graphs
+from repro.graphs.programl import CALL, CONTROL, DATA, ProgramGraph, build_graph
+
+__all__ = [
+    "ProgramGraph",
+    "build_graph",
+    "CONTROL",
+    "DATA",
+    "CALL",
+    "GraphBatch",
+    "batch_graphs",
+]

@@ -1,0 +1,178 @@
+"""IR module → heterogeneous program graph (the ProGraML substitute).
+
+Follows Cummins et al. (2020): three node types — **instruction**,
+**variable**, **constant** — and three edge relations — **control** (block
+order and branches), **data** (def→use through variable/constant nodes,
+with operand ``position``), and **call** (call site → callee entry, returns
+→ call site).  Every node carries two feature strings:
+
+* ``text`` — the opcode / type only (the ProGraML default feature),
+* ``full_text`` — the complete printed instruction (the richer feature
+  GraphBinMatch found superior; Table VIII ablates the two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.ir.module import Argument, BasicBlock, Constant, Function, Instruction, Module, Value
+from repro.ir.printer import Namer, instruction_text
+from repro.ir.types import VOID
+
+CONTROL = "control"
+DATA = "data"
+CALL = "call"
+RELATIONS = (CONTROL, DATA, CALL)
+
+NODE_INSTRUCTION = 0
+NODE_VARIABLE = 1
+NODE_CONSTANT = 2
+
+
+@dataclass
+class ProgramGraph:
+    """A heterogeneous program graph.
+
+    ``edges[rel]`` is an int64 array of shape ``(2, E)`` (source, dest);
+    ``positions[rel]`` the matching operand-position feature of shape
+    ``(E,)``.
+    """
+
+    name: str
+    node_texts: List[str] = field(default_factory=list)
+    node_full_texts: List[str] = field(default_factory=list)
+    node_types: List[int] = field(default_factory=list)
+    edges: Dict[str, np.ndarray] = field(default_factory=dict)
+    positions: Dict[str, np.ndarray] = field(default_factory=dict)
+    source_language: str = ""
+
+    @property
+    def num_nodes(self) -> int:
+        """Node count."""
+        return len(self.node_texts)
+
+    @property
+    def num_edges(self) -> int:
+        """Total edge count across relations."""
+        return sum(e.shape[1] for e in self.edges.values())
+
+    def edge_count(self, rel: str) -> int:
+        """Edges in one relation."""
+        return self.edges[rel].shape[1] if rel in self.edges else 0
+
+
+class _GraphBuilder:
+    def __init__(self, name: str):  # noqa: D107
+        self.graph = ProgramGraph(name)
+        self._edge_lists: Dict[str, List[Tuple[int, int, int]]] = {r: [] for r in RELATIONS}
+        self._const_nodes: Dict[Tuple[int, str], int] = {}
+
+    def add_node(self, text: str, full_text: str, node_type: int) -> int:
+        g = self.graph
+        g.node_texts.append(text)
+        g.node_full_texts.append(full_text)
+        g.node_types.append(node_type)
+        return len(g.node_texts) - 1
+
+    def add_edge(self, rel: str, src: int, dst: int, position: int = 0) -> None:
+        self._edge_lists[rel].append((src, dst, position))
+
+    def const_node(self, c: Constant) -> int:
+        key = (c.value, str(c.type))
+        if key not in self._const_nodes:
+            self._const_nodes[key] = self.add_node(
+                str(c.type), f"{c.type} {c.value}", NODE_CONSTANT
+            )
+        return self._const_nodes[key]
+
+    def finish(self) -> ProgramGraph:
+        g = self.graph
+        for rel, triples in self._edge_lists.items():
+            if triples:
+                arr = np.asarray(triples, dtype=np.int64).T
+                g.edges[rel] = arr[:2]
+                g.positions[rel] = arr[2]
+            else:
+                g.edges[rel] = np.zeros((2, 0), dtype=np.int64)
+                g.positions[rel] = np.zeros(0, dtype=np.int64)
+        return g
+
+
+def build_graph(module: Module, name: Optional[str] = None) -> ProgramGraph:
+    """Construct the heterogeneous graph for an IR module."""
+    b = _GraphBuilder(name or module.name)
+    b.graph.source_language = module.source_language
+
+    instr_node: Dict[int, int] = {}
+    var_node: Dict[int, int] = {}
+    fn_entry_node: Dict[str, int] = {}
+    fn_ret_nodes: Dict[str, List[int]] = {}
+
+    # --- pass 1: nodes ---------------------------------------------------
+    for fn in module.functions:
+        if fn.is_declaration:
+            # one node stands for the external function
+            idx = b.add_node(
+                "external", f"declare {fn.return_type} @{fn.name}", NODE_INSTRUCTION
+            )
+            fn_entry_node[fn.name] = idx
+            continue
+        namer = Namer()
+        namer.assign_all(fn)
+        for arg in fn.args:
+            var_node[id(arg)] = b.add_node(
+                str(arg.type), f"{arg.type} %{arg.name}", NODE_VARIABLE
+            )
+        rets: List[int] = []
+        for blk in fn.blocks:
+            for instr in blk.instructions:
+                full = instruction_text(instr, namer)
+                idx = b.add_node(instr.opcode, full, NODE_INSTRUCTION)
+                instr_node[id(instr)] = idx
+                if instr.type != VOID:
+                    var_node[id(instr)] = b.add_node(
+                        str(instr.type), f"{instr.type} {namer.name(instr)}", NODE_VARIABLE
+                    )
+                if instr.opcode == "ret":
+                    rets.append(idx)
+        fn_entry_node[fn.name] = instr_node[id(fn.entry.instructions[0])]
+        fn_ret_nodes[fn.name] = rets
+
+    # --- pass 2: edges ---------------------------------------------------
+    for fn in module.defined_functions():
+        for blk in fn.blocks:
+            instrs = blk.instructions
+            # control: straight line
+            for a, nxt in zip(instrs, instrs[1:]):
+                b.add_edge(CONTROL, instr_node[id(a)], instr_node[id(nxt)], 0)
+            # control: branch targets
+            term = blk.terminator
+            if term is not None:
+                for k, succ in enumerate(term.blocks if term.opcode != "phi" else []):
+                    b.add_edge(
+                        CONTROL,
+                        instr_node[id(term)],
+                        instr_node[id(succ.instructions[0])],
+                        k,
+                    )
+            for instr in instrs:
+                # data: producer → its variable node
+                if instr.type != VOID and id(instr) in var_node:
+                    b.add_edge(DATA, instr_node[id(instr)], var_node[id(instr)], 0)
+                # data: operands → this instruction
+                for pos, op in enumerate(instr.operands):
+                    if isinstance(op, Constant):
+                        b.add_edge(DATA, b.const_node(op), instr_node[id(instr)], pos)
+                    elif id(op) in var_node:
+                        b.add_edge(DATA, var_node[id(op)], instr_node[id(instr)], pos)
+                # call edges
+                if instr.opcode == "call":
+                    callee = instr.extra["callee"]
+                    if callee in fn_entry_node:
+                        b.add_edge(CALL, instr_node[id(instr)], fn_entry_node[callee], 0)
+                        for r in fn_ret_nodes.get(callee, []):
+                            b.add_edge(CALL, r, instr_node[id(instr)], 1)
+    return b.finish()

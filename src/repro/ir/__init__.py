@@ -1,0 +1,63 @@
+"""``repro.ir`` — the LLVM-IR substitute: typed SSA IR, lowering, passes.
+
+Pipeline position: ``repro.lang`` ASTs are lowered here (per-language
+front-ends), optimized by :mod:`repro.ir.passes` pipelines (O0..Oz), printed
+with LLVM-like syntax for node features, and consumed by
+:mod:`repro.graphs` for ProGraML-style graph construction and by
+:mod:`repro.binary` for code generation.
+"""
+
+from repro.ir.builder import IRBuilder
+from repro.ir.interp import IRInterpError, IRInterpreter, Pointer, run_module
+from repro.ir.lowering import (
+    ClangLowering,
+    CppLowering,
+    JLangLowering,
+    LoweringError,
+    lower_program,
+)
+from repro.ir.module import (
+    Argument,
+    BasicBlock,
+    Constant,
+    Function,
+    Instruction,
+    Module,
+    Value,
+)
+from repro.ir.printer import instruction_text, print_function, print_module
+from repro.ir.types import I1, I32, I64, VOID, IntType, IRType, PtrType
+from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+__all__ = [
+    "IRBuilder",
+    "IRInterpreter",
+    "IRInterpError",
+    "Pointer",
+    "run_module",
+    "ClangLowering",
+    "CppLowering",
+    "JLangLowering",
+    "LoweringError",
+    "lower_program",
+    "Module",
+    "Function",
+    "BasicBlock",
+    "Instruction",
+    "Constant",
+    "Argument",
+    "Value",
+    "print_module",
+    "print_function",
+    "instruction_text",
+    "IRType",
+    "IntType",
+    "PtrType",
+    "I1",
+    "I32",
+    "I64",
+    "VOID",
+    "verify_module",
+    "verify_function",
+    "VerificationError",
+]

@@ -1,0 +1,37 @@
+"""``repro.ir.passes`` — the LLVM optimization-pipeline substitute.
+
+Pass inventory:
+
+* :mod:`~repro.ir.passes.mem2reg` — promote scalar allocas to SSA (phi
+  construction per Braun et al., *Simple and Efficient SSA Construction*).
+* :mod:`~repro.ir.passes.constfold` — constant folding for binops/icmp/casts.
+* :mod:`~repro.ir.passes.instcombine` — algebraic identities.
+* :mod:`~repro.ir.passes.dce` — dead code elimination.
+* :mod:`~repro.ir.passes.simplifycfg` — unreachable-block removal, constant
+  branch folding, straight-line block merging.
+* :mod:`~repro.ir.passes.inline` — bottom-up inlining of small callees.
+* :mod:`~repro.ir.passes.peel` — loop peeling (the O3 "aggressive control
+  flow tuning" the paper blames for decompilation drift).
+* :mod:`~repro.ir.passes.pipeline` — O0/O1/O2/O3/Oz compositions.
+"""
+
+from repro.ir.passes.constfold import constant_fold
+from repro.ir.passes.dce import dead_code_elimination
+from repro.ir.passes.inline import inline_functions
+from repro.ir.passes.instcombine import instcombine
+from repro.ir.passes.mem2reg import mem2reg
+from repro.ir.passes.peel import peel_loops
+from repro.ir.passes.pipeline import OPT_LEVELS, optimize
+from repro.ir.passes.simplifycfg import simplify_cfg
+
+__all__ = [
+    "mem2reg",
+    "constant_fold",
+    "instcombine",
+    "dead_code_elimination",
+    "simplify_cfg",
+    "inline_functions",
+    "peel_loops",
+    "optimize",
+    "OPT_LEVELS",
+]

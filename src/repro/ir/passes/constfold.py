@@ -1,0 +1,120 @@
+"""Constant folding: evaluate all-constant binops, icmps and casts."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.module import Constant, Function, Instruction, Module, Value
+from repro.ir.passes.common import erase_instructions, replace_all_uses
+from repro.ir.types import I1, IntType
+
+
+def _wrap(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    return value - (1 << bits) if value >= (1 << (bits - 1)) else value
+
+
+def _fold_binary(op: str, a: int, b: int, bits: int):
+    if op == "add":
+        return _wrap(a + b, bits)
+    if op == "sub":
+        return _wrap(a - b, bits)
+    if op == "mul":
+        return _wrap(a * b, bits)
+    if op == "sdiv":
+        if b == 0:
+            return None  # preserve the trap
+        q = abs(a) // abs(b)
+        return _wrap(-q if (a < 0) != (b < 0) else q, bits)
+    if op == "srem":
+        if b == 0:
+            return None
+        q = abs(a) // abs(b)
+        q = -q if (a < 0) != (b < 0) else q
+        return _wrap(a - q * b, bits)
+    if op == "and":
+        return _wrap(a & b, bits)
+    if op == "or":
+        return _wrap(a | b, bits)
+    if op == "xor":
+        return _wrap(a ^ b, bits)
+    if op == "shl":
+        return _wrap(a << (b % bits), bits)
+    if op == "ashr":
+        return _wrap(a >> (b % bits), bits)
+    return None
+
+
+_PREDS = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "slt": lambda a, b: a < b,
+    "sle": lambda a, b: a <= b,
+    "sgt": lambda a, b: a > b,
+    "sge": lambda a, b: a >= b,
+}
+
+_BINOPS = ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr")
+
+
+def constant_fold(module: Module) -> int:
+    """Fold constants in every function; returns instructions folded."""
+    total = 0
+    for fn in module.defined_functions():
+        total += _fold_function(fn)
+    return total
+
+
+def _fold_function(fn: Function) -> int:
+    folded = 0
+    changed = True
+    while changed:
+        changed = False
+        replacement: Dict[int, Value] = {}
+        dead = []
+        for blk in fn.blocks:
+            for instr in blk.instructions:
+                result = _try_fold(instr)
+                if result is not None:
+                    replacement[id(instr)] = result
+                    dead.append(instr)
+        if replacement:
+            replace_all_uses(fn, replacement)
+            erase_instructions(fn, dead)
+            folded += len(dead)
+            changed = True
+    return folded
+
+
+def _try_fold(instr: Instruction):
+    op = instr.opcode
+    if op in _BINOPS:
+        a, b = instr.operands
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            bits = instr.type.bits if isinstance(instr.type, IntType) else 64
+            val = _fold_binary(op, a.value, b.value, bits)
+            if val is not None:
+                return Constant(val, instr.type)
+    elif op == "icmp":
+        a, b = instr.operands
+        if isinstance(a, Constant) and isinstance(b, Constant):
+            return Constant(1 if _PREDS[instr.extra["pred"]](a.value, b.value) else 0, I1)
+    elif op in ("zext", "sext", "trunc"):
+        (a,) = instr.operands
+        if isinstance(a, Constant):
+            if op == "zext":
+                src_bits = a.type.bits
+                return Constant(a.value & ((1 << src_bits) - 1), instr.type)
+            return Constant(_wrap(a.value, instr.type.bits), instr.type)
+    elif op == "phi":
+        vals = [v for v in instr.operands if v is not instr]
+        keys = set()
+        for v2 in vals:
+            if isinstance(v2, Constant):
+                keys.add(("c", v2.value, str(v2.type)))
+            else:
+                keys.add(id(v2))
+        if vals and len(keys) == 1:
+            return vals[0]
+    return None

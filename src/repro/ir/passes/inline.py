@@ -1,0 +1,114 @@
+"""Function inlining: splice small callee bodies into call sites.
+
+Runs on pre-mem2reg IR (the pipelines schedule it first), where values never
+cross block boundaries except through memory — which makes the transform a
+pure block-splice plus a return phi.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.ir.module import BasicBlock, Function, Instruction, Module, Value
+from repro.ir.passes.common import clone_blocks, phi_incoming_replace
+from repro.ir.types import VOID
+
+
+def _is_self_recursive(fn: Function) -> bool:
+    return any(
+        i.opcode == "call" and i.extra["callee"] == fn.name
+        for i in fn.instructions()
+    )
+
+
+def inline_functions(module: Module, max_callee_size: int = 40) -> int:
+    """Inline calls to small defined callees; returns call sites inlined.
+
+    ``max_callee_size`` is the instruction-count threshold — the knob the
+    Oz pipeline turns down to stay size-conscious.
+    """
+    inlined = 0
+    candidates = {
+        f.name: f
+        for f in module.defined_functions()
+        if f.size() <= max_callee_size and not _is_self_recursive(f)
+    }
+    for fn in module.defined_functions():
+        again = True
+        rounds = 0
+        while again and rounds < 8:
+            again = False
+            rounds += 1
+            for blk in list(fn.blocks):
+                site = _find_call_site(blk, candidates, fn)
+                if site is not None:
+                    _inline_at(fn, blk, site, candidates[site.extra["callee"]])
+                    inlined += 1
+                    again = True
+                    break
+    return inlined
+
+
+def _find_call_site(blk: BasicBlock, candidates: Dict[str, Function], fn: Function) -> Optional[Instruction]:
+    for instr in blk.instructions:
+        if instr.opcode != "call":
+            continue
+        callee = instr.extra["callee"]
+        if callee in candidates and callee != fn.name:
+            return instr
+    return None
+
+
+def _inline_at(fn: Function, blk: BasicBlock, call: Instruction, callee: Function) -> None:
+    call_pos = blk.instructions.index(call)
+
+    # Split: tail goes to a continuation block.
+    cont = fn.new_block(f"{blk.label}.cont")
+    tail = blk.instructions[call_pos + 1 :]
+    blk.instructions = blk.instructions[:call_pos]
+    for instr in tail:
+        instr.parent = cont
+        cont.instructions.append(instr)
+    # successors' phis must now name the continuation as predecessor
+    for nxt in cont.successors():
+        phi_incoming_replace(nxt, blk, cont)
+
+    # Clone the callee body with args bound to the call operands.
+    value_map: Dict[int, Value] = {
+        id(arg): op for arg, op in zip(callee.args, call.operands)
+    }
+    block_map, value_map = clone_blocks(fn, callee.blocks, value_map, f"inl{call.uid}")
+
+    # Rewire: caller block branches into the cloned entry.
+    entry_clone = block_map[callee.entry]
+    br = Instruction("br", [], blocks=[entry_clone])
+    br.parent = blk
+    blk.instructions.append(br)
+
+    # Each cloned ret becomes a branch to the continuation.
+    ret_values: List = []
+    ret_blocks: List[BasicBlock] = []
+    for orig_blk in callee.blocks:
+        clone = block_map[orig_blk]
+        term = clone.terminator
+        if term is not None and term.opcode == "ret":
+            if term.operands:
+                ret_values.append(term.operands[0])
+            ret_blocks.append(clone)
+            clone.instructions[-1] = Instruction("br", [], blocks=[cont])
+            clone.instructions[-1].parent = clone
+
+    # Replace uses of the call's result.
+    if call.type != VOID and ret_values:
+        if len(ret_values) == 1:
+            result: Value = ret_values[0]
+        else:
+            phi = Instruction(
+                "phi", ret_values, call.type, blocks=ret_blocks
+            )
+            phi.parent = cont
+            cont.instructions.insert(0, phi)
+            result = phi
+        for b2 in fn.blocks:
+            for instr in b2.instructions:
+                instr.replace_operand(call, result)

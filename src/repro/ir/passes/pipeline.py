@@ -1,0 +1,75 @@
+"""Optimization pipelines: the -O0 / -O1 / -O2 / -O3 / -Oz compositions.
+
+Pipeline design mirrors the observable behaviour the paper relies on:
+
+* O0 — nothing: alloca/load/store soup, maximal source fidelity.
+* O1 — mem2reg + scalar cleanups: SSA form, smaller and canonical.
+* O2 — O1 plus inlining: call structure changes.
+* O3 — O2 plus loop peeling: control flow restructured aggressively, which
+  is what makes higher -O binaries decompile with the largest drift (RQ2).
+* Oz — O1 plus *size-limited* inlining: optimize for size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.ir.module import Module
+from repro.ir.passes.constfold import constant_fold
+from repro.ir.passes.dce import dead_code_elimination
+from repro.ir.passes.inline import inline_functions
+from repro.ir.passes.instcombine import instcombine
+from repro.ir.passes.mem2reg import mem2reg
+from repro.ir.passes.peel import peel_loops
+from repro.ir.passes.simplifycfg import simplify_cfg
+
+
+def _scalar_cleanup(module: Module) -> None:
+    mem2reg(module)
+    constant_fold(module)
+    instcombine(module)
+    dead_code_elimination(module)
+    simplify_cfg(module)
+    constant_fold(module)
+    dead_code_elimination(module)
+
+
+def _o0(module: Module) -> None:
+    """No optimization."""
+
+
+def _o1(module: Module) -> None:
+    _scalar_cleanup(module)
+
+
+def _o2(module: Module) -> None:
+    inline_functions(module, max_callee_size=40)
+    _scalar_cleanup(module)
+
+
+def _o3(module: Module) -> None:
+    inline_functions(module, max_callee_size=80)
+    peel_loops(module, max_loop_size=60)
+    _scalar_cleanup(module)
+
+
+def _oz(module: Module) -> None:
+    inline_functions(module, max_callee_size=12)
+    _scalar_cleanup(module)
+
+
+OPT_LEVELS: Dict[str, Callable[[Module], None]] = {
+    "O0": _o0,
+    "O1": _o1,
+    "O2": _o2,
+    "O3": _o3,
+    "Oz": _oz,
+}
+
+
+def optimize(module: Module, level: str = "O0") -> Module:
+    """Run the named pipeline in place and return the module."""
+    if level not in OPT_LEVELS:
+        raise ValueError(f"unknown optimization level {level!r}; options: {sorted(OPT_LEVELS)}")
+    OPT_LEVELS[level](module)
+    return module

@@ -1,0 +1,125 @@
+"""Textual IR printer with LLVM-like syntax.
+
+The printed text feeds two consumers: human inspection, and the ProGraML-
+style graph builder, whose node features are exactly these instruction
+strings (``full_text``) or their opcodes (``text``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.module import BasicBlock, Constant, Function, Instruction, Module, Value
+from repro.ir.types import VOID
+
+
+class Namer:
+    """Assigns stable ``%N`` names to instructions within one function."""
+
+    def __init__(self) -> None:  # noqa: D107
+        self._names: Dict[int, str] = {}
+        self._counter = 0
+
+    def name(self, value: Value) -> str:
+        """Operand spelling for any value."""
+        if isinstance(value, Constant):
+            return str(value.value)
+        if isinstance(value, Instruction):
+            if id(value) not in self._names:
+                self._names[id(value)] = f"%{self._counter}"
+                self._counter += 1
+            return self._names[id(value)]
+        # Argument
+        return value.short()
+
+    def assign_all(self, fn: Function) -> None:
+        """Pre-assign names in program order so output reads top-down."""
+        for instr in fn.instructions():
+            if instr.type != VOID:
+                self.name(instr)
+
+
+def instruction_text(instr: Instruction, namer: Namer) -> str:
+    """Render one instruction as LLVM-like text (the ProGraML full_text)."""
+    op = instr.opcode
+    t = instr.type
+
+    def n(v: Value) -> str:
+        return namer.name(v)
+
+    def typed(v: Value) -> str:
+        return f"{v.type} {n(v)}"
+
+    if op == "alloca":
+        if instr.operands:
+            return f"{n(instr)} = alloca {t.element}, i32 {n(instr.operands[0])}"
+        return f"{n(instr)} = alloca {t.element}"
+    if op == "load":
+        ptr = instr.operands[0]
+        return f"{n(instr)} = load {t}, {typed(ptr)}"
+    if op == "store":
+        val, ptr = instr.operands
+        return f"store {typed(val)}, {typed(ptr)}"
+    if op == "gep":
+        ptr, idx = instr.operands
+        return f"{n(instr)} = getelementptr {ptr.type.element}, {typed(ptr)}, {typed(idx)}"
+    if op in ("add", "sub", "mul", "sdiv", "srem", "and", "or", "xor", "shl", "ashr"):
+        a, b = instr.operands
+        return f"{n(instr)} = {op} {t} {n(a)}, {n(b)}"
+    if op == "icmp":
+        a, b = instr.operands
+        return f"{n(instr)} = icmp {instr.extra['pred']} {a.type} {n(a)}, {n(b)}"
+    if op in ("zext", "sext", "trunc", "inttoptr", "ptrtoint"):
+        (a,) = instr.operands
+        return f"{n(instr)} = {op} {a.type} {n(a)} to {t}"
+    if op == "br":
+        return f"br label %{instr.blocks[0].label}"
+    if op == "condbr":
+        c = instr.operands[0]
+        return (
+            f"br i1 {n(c)}, label %{instr.blocks[0].label}, "
+            f"label %{instr.blocks[1].label}"
+        )
+    if op == "ret":
+        if instr.operands:
+            return f"ret {typed(instr.operands[0])}"
+        return "ret void"
+    if op == "unreachable":
+        return "unreachable"
+    if op == "phi":
+        pairs = ", ".join(
+            f"[ {n(v)}, %{b.label} ]" for v, b in zip(instr.operands, instr.blocks)
+        )
+        return f"{n(instr)} = phi {t} {pairs}"
+    if op == "call":
+        args = ", ".join(typed(a) for a in instr.operands)
+        callee = instr.extra["callee"]
+        if t == VOID:
+            return f"call void @{callee}({args})"
+        return f"{n(instr)} = call {t} @{callee}({args})"
+    raise ValueError(f"cannot print opcode {op!r}")
+
+
+def print_function(fn: Function) -> str:
+    """Render one function definition or declaration."""
+    params = ", ".join(f"{a.type} %{a.name}" for a in fn.args)
+    if fn.is_declaration:
+        arg_types = ", ".join(str(a.type) for a in fn.args)
+        return f"declare {fn.return_type} @{fn.name}({arg_types})"
+    namer = Namer()
+    namer.assign_all(fn)
+    lines: List[str] = [f"define {fn.return_type} @{fn.name}({params}) {{"]
+    for blk in fn.blocks:
+        lines.append(f"{blk.label}:")
+        for instr in blk.instructions:
+            lines.append("  " + instruction_text(instr, namer))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    """Render the whole module."""
+    header = f"; ModuleID = '{module.name}'"
+    if module.source_language:
+        header += f"\n; source_language = {module.source_language}"
+    return "\n\n".join([header] + [print_function(f) for f in module.functions]) + "\n"

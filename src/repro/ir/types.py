@@ -1,0 +1,73 @@
+"""The IR type system: i1/i32/i64 integers, typed pointers, void.
+
+Mirrors the slice of LLVM's type system the reproduction needs.  Types are
+interned value objects — compare with ``==`` or ``is`` via the module-level
+singletons ``I1``/``I32``/``I64``/``VOID``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class IRType:
+    """Base marker for IR types."""
+
+    def __str__(self) -> str:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IntType(IRType):
+    """Fixed-width integer type (i1, i32, i64)."""
+
+    bits: int
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+@dataclass(frozen=True)
+class PtrType(IRType):
+    """Pointer to an element type (``i32*``)."""
+
+    element: IRType
+
+    def __str__(self) -> str:
+        return f"{self.element}*"
+
+
+@dataclass(frozen=True)
+class VoidType(IRType):
+    """The void type (function returns only)."""
+
+    def __str__(self) -> str:
+        return "void"
+
+
+@dataclass(frozen=True)
+class LabelType(IRType):
+    """The type of basic-block labels (branch targets)."""
+
+    def __str__(self) -> str:
+        return "label"
+
+
+I1 = IntType(1)
+I32 = IntType(32)
+I64 = IntType(64)
+VOID = VoidType()
+LABEL = LabelType()
+PTR_I32 = PtrType(I32)
+PTR_I64 = PtrType(I64)
+
+
+def is_int(t: IRType) -> bool:
+    """True for integer types."""
+    return isinstance(t, IntType)
+
+
+def is_ptr(t: IRType) -> bool:
+    """True for pointer types."""
+    return isinstance(t, PtrType)

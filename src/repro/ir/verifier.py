@@ -1,0 +1,107 @@
+"""Structural IR verifier.
+
+Checks the invariants every pass must preserve; tests run it after each
+pipeline stage so a broken transformation fails loudly instead of producing
+subtly-wrong graphs for the model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.module import (
+    Argument,
+    BasicBlock,
+    Constant,
+    Function,
+    Instruction,
+    Module,
+)
+from repro.ir.types import VOID
+
+
+class VerificationError(ValueError):
+    """Raised when a module violates an IR invariant."""
+
+
+def verify_function(fn: Function) -> None:
+    """Check one function's structural invariants."""
+    if fn.is_declaration:
+        if fn.blocks:
+            raise VerificationError(f"{fn.name}: declaration with a body")
+        return
+    if not fn.blocks:
+        raise VerificationError(f"{fn.name}: definition without blocks")
+
+    all_blocks = set(fn.blocks)
+    defined: set = set(id(a) for a in fn.args)
+    for blk in fn.blocks:
+        if not blk.instructions:
+            raise VerificationError(f"{fn.name}/{blk.label}: empty block")
+        term = blk.instructions[-1]
+        if not term.is_terminator:
+            raise VerificationError(f"{fn.name}/{blk.label}: missing terminator")
+        for pos, instr in enumerate(blk.instructions):
+            if instr.is_terminator and pos != len(blk.instructions) - 1:
+                raise VerificationError(
+                    f"{fn.name}/{blk.label}: terminator mid-block"
+                )
+            if instr.opcode == "phi" and pos > 0:
+                prev = blk.instructions[pos - 1]
+                if prev.opcode != "phi":
+                    raise VerificationError(
+                        f"{fn.name}/{blk.label}: phi after non-phi"
+                    )
+            for target in instr.blocks:
+                if instr.opcode != "phi" and target not in all_blocks:
+                    raise VerificationError(
+                        f"{fn.name}/{blk.label}: branch to foreign block {target.label}"
+                    )
+            defined.add(id(instr))
+
+    # Every operand must be a constant, argument, or instruction of this fn.
+    instr_ids = {id(i) for i in fn.instructions()} | {id(a) for a in fn.args}
+    for blk in fn.blocks:
+        for instr in blk.instructions:
+            for op in instr.operands:
+                if isinstance(op, Constant):
+                    continue
+                if id(op) not in instr_ids:
+                    raise VerificationError(
+                        f"{fn.name}/{blk.label}: {instr.opcode} uses a value "
+                        f"from outside the function: {op!r}"
+                    )
+
+    # Phi incoming blocks must be actual predecessors.
+    preds = fn.predecessors()
+    reachable = fn.reachable_blocks()
+    for blk in fn.blocks:
+        if blk not in reachable:
+            continue
+        pred_set = set(p for p in preds[blk] if p in reachable)
+        for phi in blk.phis():
+            incoming = set(phi.blocks)
+            if not pred_set.issubset(incoming):
+                missing = [p.label for p in pred_set - incoming]
+                raise VerificationError(
+                    f"{fn.name}/{blk.label}: phi missing incoming for {missing}"
+                )
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function plus module-level invariants."""
+    names = [f.name for f in module.functions]
+    if len(names) != len(set(names)):
+        raise VerificationError("duplicate function names")
+    for fn in module.functions:
+        verify_function(fn)
+
+
+def collect_callees(module: Module) -> List[str]:
+    """All callee names referenced by call instructions."""
+    out = []
+    for fn in module.defined_functions():
+        for instr in fn.instructions():
+            if instr.opcode == "call":
+                out.append(instr.extra["callee"])
+    return out

@@ -1,0 +1,273 @@
+"""Tree-walking interpreter for the shared AST.
+
+Used as the semantic oracle in tests: for any generated program,
+``interpret(ast)``, the IR interpreter, and the binary VM must all print the
+same lines.  Integer semantics are 64-bit two's-complement (like the IR and
+the VM), division truncates toward zero (C semantics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang import ast
+
+_MASK = (1 << 64) - 1
+
+
+def wrap64(x: int) -> int:
+    """Wrap a Python int to signed 64-bit."""
+    x &= _MASK
+    return x - (1 << 64) if x >= (1 << 63) else x
+
+
+def trunc_div(a: int, b: int) -> int:
+    """C-style truncating division."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in interpreted program")
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def trunc_mod(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend)."""
+    return a - trunc_div(a, b) * b
+
+
+class _Return(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class InterpreterError(RuntimeError):
+    """Raised on undefined variables, bad calls, or out-of-bounds access."""
+
+
+class Interpreter:
+    """Evaluate a :class:`~repro.lang.ast.Program` starting at ``main``."""
+
+    def __init__(self, program: ast.Program, max_steps: int = 2_000_000):  # noqa: D107
+        self.program = program
+        self.output: List[int] = []
+        self.max_steps = max_steps
+        self._steps = 0
+
+    # ------------------------------------------------------------- driver
+    def run(self, entry: str = "main", args: Optional[list] = None) -> List[int]:
+        """Execute ``entry`` and return the list of printed integers."""
+        self.output = []
+        self._steps = 0
+        self.call_function(entry, args or [])
+        return self.output
+
+    def call_function(self, name: str, args: list):
+        """Invoke a user function with evaluated arguments."""
+        fn = self.program.function(name)
+        if len(args) != len(fn.params):
+            raise InterpreterError(
+                f"{name} expects {len(fn.params)} args, got {len(args)}"
+            )
+        env: Dict[str, object] = {p.name: a for p, a in zip(fn.params, args)}
+        try:
+            self.exec_block(fn.body, env)
+        except _Return as r:
+            return r.value
+        return None
+
+    def _tick(self):
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise InterpreterError("step budget exceeded (infinite loop?)")
+
+    # --------------------------------------------------------- statements
+    def exec_block(self, blk: ast.Block, env: Dict[str, object]):
+        """Execute each statement in the block."""
+        for s in blk.statements:
+            self.exec_stmt(s, env)
+
+    def exec_stmt(self, s: ast.Stmt, env: Dict[str, object]):
+        """Execute one statement."""
+        self._tick()
+        if isinstance(s, ast.Block):
+            self.exec_block(s, env)
+        elif isinstance(s, ast.VarDecl):
+            env[s.name] = self.eval(s.init, env) if s.init is not None else 0
+        elif isinstance(s, ast.Assign):
+            value = self.eval(s.value, env)
+            if isinstance(s.target, ast.Var):
+                if s.target.name not in env:
+                    raise InterpreterError(f"assignment to undeclared {s.target.name}")
+                env[s.target.name] = value
+            elif isinstance(s.target, ast.Index):
+                arr = self.eval(s.target.base, env)
+                pos = self.eval(s.target.index, env)
+                self._bounds(arr, pos)
+                arr[pos] = value
+            else:
+                raise InterpreterError("bad assignment target")
+        elif isinstance(s, ast.If):
+            if self._truthy(self.eval(s.cond, env)):
+                self.exec_block(s.then, env)
+            elif s.otherwise is not None:
+                self.exec_block(s.otherwise, env)
+        elif isinstance(s, ast.While):
+            while self._truthy(self.eval(s.cond, env)):
+                self._tick()
+                try:
+                    self.exec_block(s.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(s, ast.For):
+            if s.init is not None:
+                self.exec_stmt(s.init, env)
+            while s.cond is None or self._truthy(self.eval(s.cond, env)):
+                self._tick()
+                try:
+                    self.exec_block(s.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if s.step is not None:
+                    self.exec_stmt(s.step, env)
+        elif isinstance(s, ast.Return):
+            raise _Return(self.eval(s.value, env) if s.value is not None else None)
+        elif isinstance(s, ast.Break):
+            raise _Break()
+        elif isinstance(s, ast.Continue):
+            raise _Continue()
+        elif isinstance(s, ast.Print):
+            self.output.append(int(self.eval(s.value, env)))
+        elif isinstance(s, ast.ExprStmt):
+            self.eval(s.expr, env)
+        else:
+            raise InterpreterError(f"unknown statement {type(s).__name__}")
+
+    # -------------------------------------------------------- expressions
+    def eval(self, expr: ast.Expr, env: Dict[str, object]):
+        """Evaluate an expression to an int or a list (array)."""
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return expr.value
+        if isinstance(expr, ast.BoolLit):
+            return 1 if expr.value else 0
+        if isinstance(expr, ast.Var):
+            if expr.name not in env:
+                raise InterpreterError(f"undefined variable {expr.name}")
+            return env[expr.name]
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr, env)
+        if isinstance(expr, ast.UnaryOp):
+            val = self.eval(expr.operand, env)
+            if expr.op == "-":
+                return wrap64(-val)
+            if expr.op == "!":
+                return 0 if self._truthy(val) else 1
+            raise InterpreterError(f"unknown unary {expr.op}")
+        if isinstance(expr, ast.Index):
+            arr = self.eval(expr.base, env)
+            pos = self.eval(expr.index, env)
+            self._bounds(arr, pos)
+            return arr[pos]
+        if isinstance(expr, ast.NewArray):
+            size = self.eval(expr.size, env)
+            if size < 0:
+                raise InterpreterError("negative array size")
+            return [0] * size
+        if isinstance(expr, ast.ArrayLit):
+            return [self.eval(x, env) for x in expr.elements]
+        if isinstance(expr, ast.Call):
+            return self._call(expr, env)
+        raise InterpreterError(f"unknown expression {type(expr).__name__}")
+
+    def _binop(self, expr: ast.BinOp, env):
+        op = expr.op
+        if op == "&&":
+            return 1 if (self._truthy(self.eval(expr.left, env)) and self._truthy(self.eval(expr.right, env))) else 0
+        if op == "||":
+            return 1 if (self._truthy(self.eval(expr.left, env)) or self._truthy(self.eval(expr.right, env))) else 0
+        a = self.eval(expr.left, env)
+        b = self.eval(expr.right, env)
+        if op == "+":
+            return wrap64(a + b)
+        if op == "-":
+            return wrap64(a - b)
+        if op == "*":
+            return wrap64(a * b)
+        if op == "/":
+            return wrap64(trunc_div(a, b))
+        if op == "%":
+            return wrap64(trunc_mod(a, b))
+        if op == "<":
+            return 1 if a < b else 0
+        if op == "<=":
+            return 1 if a <= b else 0
+        if op == ">":
+            return 1 if a > b else 0
+        if op == ">=":
+            return 1 if a >= b else 0
+        if op == "==":
+            return 1 if a == b else 0
+        if op == "!=":
+            return 1 if a != b else 0
+        if op == "&":
+            return wrap64(a & b)
+        if op == "|":
+            return wrap64(a | b)
+        if op == "^":
+            return wrap64(a ^ b)
+        if op == "<<":
+            return wrap64(a << (b & 63))
+        if op == ">>":
+            return wrap64(a >> (b & 63))
+        raise InterpreterError(f"unknown operator {op}")
+
+    def _call(self, expr: ast.Call, env):
+        name = expr.name
+        args = [self.eval(a, env) for a in expr.args]
+        if name == "len":
+            return len(args[0])
+        if name == "min":
+            return min(args)
+        if name == "max":
+            return max(args)
+        if name == "abs":
+            return abs(args[0])
+        if name == "swap":
+            raise InterpreterError("swap is lowered before interpretation")
+        if name == "sort":
+            arr = args[0]
+            n = args[1] if len(args) > 1 else len(arr)
+            arr[:n] = sorted(arr[:n])
+            return None
+        try:
+            self.program.function(name)
+        except KeyError:
+            raise InterpreterError(f"call to unknown function {name}")
+        return self.call_function(name, args)
+
+    @staticmethod
+    def _truthy(value) -> bool:
+        return bool(value)
+
+    @staticmethod
+    def _bounds(arr, pos):
+        if not isinstance(arr, list):
+            raise InterpreterError("indexing a non-array value")
+        if not (0 <= pos < len(arr)):
+            raise InterpreterError(f"index {pos} out of bounds for length {len(arr)}")
+
+
+def interpret(program: ast.Program, entry: str = "main") -> List[int]:
+    """Convenience wrapper: run the program, return printed integers."""
+    return Interpreter(program).run(entry)

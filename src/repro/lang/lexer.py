@@ -1,0 +1,139 @@
+"""Shared lexer for the three mini-languages.
+
+One tokenizer serves MiniC, MiniCpp and MiniJava: their lexical grammars
+differ only in keyword sets, which the parsers handle.  Preprocessor lines
+(``#include``) and ``using namespace`` declarations are consumed here as
+trivia so parsers see a uniform token stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+KEYWORDS = {
+    "int",
+    "long",
+    "bool",
+    "boolean",
+    "void",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "true",
+    "false",
+    "new",
+    "class",
+    "public",
+    "static",
+    "struct",
+}
+
+TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "++", "--", "+=", "-=", "*=", "/=", "%=", "::"}
+ONE_CHAR_OPS = set("+-*/%<>=!&|^~(){}[];,.?:")
+
+
+@dataclass
+class Token:
+    """A lexical token: ``kind`` is one of id/num/str/kw/op/eof."""
+
+    kind: str
+    value: str
+    line: int
+
+
+class LexError(ValueError):
+    """Raised on an unrecognized character."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize source text into a list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    i, n, line = 0, len(source), 1
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "#":  # preprocessor line — consume to end of line
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {line}")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexError(f"unterminated string at line {line}")
+            tokens.append(Token("str", source[i + 1 : j], line))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] in "xXabcdefABCDEF"):
+                j += 1
+            # trailing long suffix
+            if j < n and source[j] in "lL":
+                j += 1
+            tokens.append(Token("num", source[i:j], line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            word = source[i:j]
+            kind = "kw" if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, line))
+            i = j
+            continue
+        if source[i : i + 2] in TWO_CHAR_OPS:
+            tokens.append(Token("op", source[i : i + 2], line))
+            i += 2
+            continue
+        if ch in ONE_CHAR_OPS:
+            tokens.append(Token("op", ch, line))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {ch!r} at line {line}")
+    tokens.append(Token("eof", "", line))
+    return tokens
+
+
+def strip_using_namespace(tokens: List[Token]) -> List[Token]:
+    """Drop ``using namespace std ;`` sequences from a C++ token stream."""
+    out: List[Token] = []
+    i = 0
+    while i < len(tokens):
+        t = tokens[i]
+        if t.kind == "id" and t.value == "using":
+            while i < len(tokens) and not (
+                tokens[i].kind == "op" and tokens[i].value == ";"
+            ):
+                i += 1
+            i += 1  # skip the semicolon
+            continue
+        out.append(t)
+        i += 1
+    return out

@@ -1,0 +1,301 @@
+"""MiniC front-end: renderer (AST → C source) and parser (C source → AST).
+
+C has no standard-library sort/min/max for ints, so the renderer emits
+``static`` helper functions (``sort_ints``, ``max_i``, ...) whenever the AST
+uses those builtins — exactly the "implement it yourself" idiom the paper
+observes in C solutions.  The parser reads those helpers back as ordinary
+user functions, so the compiled IR contains their real bodies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser_base import ParseError, ParserBase
+
+_HELPER_SOURCES = {
+    "max": (
+        "max_i",
+        "static int max_i(int a, int b) {\n"
+        "    if (a > b) { return a; }\n"
+        "    return b;\n"
+        "}\n",
+    ),
+    "min": (
+        "min_i",
+        "static int min_i(int a, int b) {\n"
+        "    if (a < b) { return a; }\n"
+        "    return b;\n"
+        "}\n",
+    ),
+    "abs": (
+        "abs_i",
+        "static int abs_i(int a) {\n"
+        "    if (a < 0) { return -a; }\n"
+        "    return a;\n"
+        "}\n",
+    ),
+    "sort": (
+        "sort_ints",
+        "static void sort_ints(int* a, int n) {\n"
+        "    for (int i = 0; i < n; i++) {\n"
+        "        for (int j = 0; j < n - 1; j++) {\n"
+        "            if (a[j] > a[j + 1]) {\n"
+        "                int t = a[j];\n"
+        "                a[j] = a[j + 1];\n"
+        "                a[j + 1] = t;\n"
+        "            }\n"
+        "        }\n"
+        "    }\n"
+        "}\n",
+    ),
+}
+
+HELPER_FUNCTION_NAMES = {
+    helper_name: builtin for builtin, (helper_name, _) in _HELPER_SOURCES.items()
+}
+
+
+class MiniCRenderer:
+    """Render a language-neutral AST as compilable MiniC source text."""
+
+    language = "c"
+
+    def __init__(self) -> None:  # noqa: D107
+        self._used_helpers: Set[str] = set()
+
+    # ----------------------------------------------------------- types
+    def type_str(self, t) -> str:
+        """C spelling of a type (``bool`` degrades to ``int``)."""
+        if isinstance(t, ast.ArrayType):
+            return "int*"
+        mapping = {"int": "int", "long": "long", "bool": "int", "void": "void"}
+        return mapping[t.name]
+
+    # ------------------------------------------------------ expressions
+    def expr(self, e: ast.Expr) -> str:
+        """Render an expression."""
+        if isinstance(e, ast.IntLit):
+            return str(e.value)
+        if isinstance(e, ast.BoolLit):
+            return "1" if e.value else "0"
+        if isinstance(e, ast.Var):
+            return e.name
+        if isinstance(e, ast.BinOp):
+            return f"({self.expr(e.left)} {e.op} {self.expr(e.right)})"
+        if isinstance(e, ast.UnaryOp):
+            return f"({e.op}{self.expr(e.operand)})"
+        if isinstance(e, ast.Index):
+            return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+        if isinstance(e, ast.Call):
+            if e.name in _HELPER_SOURCES:
+                self._used_helpers.add(e.name)
+                helper = _HELPER_SOURCES[e.name][0]
+                return f"{helper}({', '.join(self.expr(a) for a in e.args)})"
+            if e.name == "len":
+                raise ValueError("MiniC has no len(); generator must pass lengths")
+            return f"{e.name}({', '.join(self.expr(a) for a in e.args)})"
+        if isinstance(e, ast.ArrayLit):
+            return "{" + ", ".join(self.expr(x) for x in e.elements) + "}"
+        raise TypeError(f"cannot render {type(e).__name__} in MiniC")
+
+    # ------------------------------------------------------- statements
+    def stmt(self, s: ast.Stmt, indent: int) -> List[str]:
+        """Render a statement as source lines."""
+        pad = "    " * indent
+        if isinstance(s, ast.VarDecl):
+            return [pad + self._decl_str(s) + ";"]
+        if isinstance(s, ast.Assign):
+            return [pad + f"{self.expr(s.target)} = {self.expr(s.value)};"]
+        if isinstance(s, ast.If):
+            lines = [pad + f"if ({self.expr(s.cond)}) {{"]
+            lines += self.block_lines(s.then, indent + 1)
+            if s.otherwise is not None:
+                lines.append(pad + "} else {")
+                lines += self.block_lines(s.otherwise, indent + 1)
+            lines.append(pad + "}")
+            return lines
+        if isinstance(s, ast.While):
+            lines = [pad + f"while ({self.expr(s.cond)}) {{"]
+            lines += self.block_lines(s.body, indent + 1)
+            lines.append(pad + "}")
+            return lines
+        if isinstance(s, ast.For):
+            init = self._inline_stmt(s.init)
+            cond = self.expr(s.cond) if s.cond is not None else ""
+            step = self._inline_stmt(s.step)
+            lines = [pad + f"for ({init}; {cond}; {step}) {{"]
+            lines += self.block_lines(s.body, indent + 1)
+            lines.append(pad + "}")
+            return lines
+        if isinstance(s, ast.Return):
+            if s.value is None:
+                return [pad + "return;"]
+            return [pad + f"return {self.expr(s.value)};"]
+        if isinstance(s, ast.Break):
+            return [pad + "break;"]
+        if isinstance(s, ast.Continue):
+            return [pad + "continue;"]
+        if isinstance(s, ast.Print):
+            return [pad + f'printf("%d\\n", {self.expr(s.value)});']
+        if isinstance(s, ast.ExprStmt):
+            return [pad + self.expr(s.expr) + ";"]
+        if isinstance(s, ast.Block):
+            return [pad + "{"] + self.block_lines(s, indent + 1) + [pad + "}"]
+        raise TypeError(f"cannot render {type(s).__name__} in MiniC")
+
+    def _inline_stmt(self, s: Optional[ast.Stmt]) -> str:
+        if s is None:
+            return ""
+        if isinstance(s, ast.VarDecl):
+            return self._decl_str(s)
+        if isinstance(s, ast.Assign):
+            return f"{self.expr(s.target)} = {self.expr(s.value)}"
+        if isinstance(s, ast.ExprStmt):
+            return self.expr(s.expr)
+        raise TypeError(f"cannot inline {type(s).__name__}")
+
+    def _decl_str(self, s: ast.VarDecl) -> str:
+        if isinstance(s.type, ast.ArrayType):
+            if isinstance(s.init, ast.NewArray):
+                return f"int {s.name}[{self.expr(s.init.size)}]"
+            if isinstance(s.init, ast.ArrayLit):
+                return f"int {s.name}[] = {self.expr(s.init)}"
+            if s.init is not None:  # aliasing another array
+                return f"int* {s.name} = {self.expr(s.init)}"
+            raise ValueError("array declaration needs an initializer")
+        base = self.type_str(s.type)
+        if s.init is None:
+            return f"{base} {s.name}"
+        return f"{base} {s.name} = {self.expr(s.init)}"
+
+    def block_lines(self, block: ast.Block, indent: int) -> List[str]:
+        """Render a block's statements."""
+        lines: List[str] = []
+        for s in block.statements:
+            lines += self.stmt(s, indent)
+        return lines
+
+    # --------------------------------------------------------- program
+    def render(self, program: ast.Program) -> str:
+        """Render the full translation unit, including any needed helpers."""
+        self._used_helpers = set()
+        func_chunks: List[str] = []
+        for f in program.functions:
+            params = ", ".join(
+                (
+                    f"int* {p.name}"
+                    if isinstance(p.type, ast.ArrayType)
+                    else f"{self.type_str(p.type)} {p.name}"
+                )
+                for p in f.params
+            )
+            header = f"{self.type_str(f.return_type)} {f.name}({params}) {{"
+            body = self.block_lines(f.body, 1)
+            func_chunks.append("\n".join([header] + body + ["}"]))
+        helper_text = "".join(
+            _HELPER_SOURCES[h][1] for h in sorted(self._used_helpers)
+        )
+        return "#include <stdio.h>\n\n" + helper_text + "\n" + "\n\n".join(func_chunks) + "\n"
+
+
+class MiniCParser(ParserBase):
+    """Parser for MiniC (also the base for the MiniCpp parser)."""
+
+    language = "c"
+    TYPE_KEYWORDS = ("int", "long", "bool", "void")
+
+    def parse_type(self):
+        """Parse ``int`` / ``long`` / ``void`` with optional ``*``."""
+        tok = self.advance()
+        if tok.value not in self.TYPE_KEYWORDS:
+            raise ParseError(f"[{self.language}] line {tok.line}: expected type, got {tok.value!r}")
+        scalar = ast.ScalarType("int" if tok.value == "bool" else tok.value)
+        if self.accept("*"):
+            return ast.ArrayType(scalar)
+        return scalar
+
+    def looks_like_decl(self) -> bool:
+        """Declarations start with a type keyword."""
+        return self.peek().kind == "kw" and self.peek().value in ("int", "long", "bool")
+
+    def parse_decl(self) -> ast.Stmt:
+        """``int x = e`` | ``int a[e]`` | ``int a[] = {..}`` | ``int* p = e``."""
+        t = self.parse_type()
+        name = self.expect_kind("id").value
+        if isinstance(t, ast.ScalarType) and self.accept("["):
+            if self.accept("]"):
+                self.expect("=")
+                lit = self._parse_brace_list()
+                return ast.VarDecl(name, ast.ArrayType(t), lit)
+            size = self.parse_expr()
+            self.expect("]")
+            return ast.VarDecl(name, ast.ArrayType(t), ast.NewArray(t, size))
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        return ast.VarDecl(name, t, init)
+
+    def _parse_brace_list(self) -> ast.ArrayLit:
+        self.expect("{")
+        elems: List[ast.Expr] = []
+        if not self.check("}"):
+            elems.append(self.parse_expr())
+            while self.accept(","):
+                elems.append(self.parse_expr())
+        self.expect("}")
+        return ast.ArrayLit(elems)
+
+    def parse_print_hook(self) -> Optional[ast.Stmt]:
+        """``printf("%d\\n", expr);`` → Print."""
+        if self.peek().kind == "id" and self.peek().value == "printf":
+            self.advance()
+            self.expect("(")
+            self.expect_kind("str")
+            self.expect(",")
+            value = self.parse_expr()
+            self.expect(")")
+            self.expect(";")
+            return ast.Print(value)
+        return None
+
+    # ----------------------------------------------------------- program
+    def parse_function(self) -> ast.Function:
+        """``[static] type name(params) { body }``."""
+        self.accept("static")
+        ret = self.parse_type()
+        name = self.expect_kind("id").value
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.check(")"):
+            params.append(self._parse_param())
+            while self.accept(","):
+                params.append(self._parse_param())
+        self.expect(")")
+        body = self.parse_block()
+        return ast.Function(name, params, ret, body)
+
+    def _parse_param(self) -> ast.Param:
+        t = self.parse_type()
+        name = self.expect_kind("id").value
+        if self.accept("["):  # `int a[]` spelling
+            self.expect("]")
+            if isinstance(t, ast.ScalarType):
+                t = ast.ArrayType(t)
+        return ast.Param(name, t)
+
+    def parse_program(self) -> ast.Program:
+        """Parse a full translation unit."""
+        functions: List[ast.Function] = []
+        while self.peek().kind != "eof":
+            functions.append(self.parse_function())
+        # Helper bodies keep the user's name when re-parsed; the Program is
+        # the real compilation unit.
+        return ast.Program(functions, language=self.language)
+
+
+def parse_minic(source: str) -> ast.Program:
+    """Parse MiniC source text into a :class:`~repro.lang.ast.Program`."""
+    return MiniCParser(tokenize(source)).parse_program()

@@ -1,0 +1,331 @@
+"""Recursive-descent parser core shared by the three mini-language parsers.
+
+Expression parsing is precedence-climbing over the shared operator table;
+statement parsing covers the common structured subset (declarations,
+assignment with ``+=``-style sugar and ``++``/``--``, if/else, while, for,
+break/continue, return, calls).  Language-specific syntax — type spellings,
+array syntax, builtin namespaces (``std::``, ``Math.``, ``System.out``) —
+is supplied by subclass hooks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang import ast
+from repro.lang.lexer import Token
+
+
+class ParseError(SyntaxError):
+    """Raised when a token stream does not match the grammar."""
+
+
+# precedence levels, lowest binds loosest
+BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+AUG_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class ParserBase:
+    """Token-stream cursor with the shared grammar productions."""
+
+    language = "?"
+
+    def __init__(self, tokens: List[Token]):  # noqa: D107
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------- cursor
+    def peek(self, offset: int = 0) -> Token:
+        """Look ahead without consuming."""
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, value: str, kind: Optional[str] = None) -> bool:
+        """True if the current token matches ``value`` (and ``kind``)."""
+        tok = self.peek()
+        if kind is not None and tok.kind != kind:
+            return False
+        return tok.value == value
+
+    def accept(self, value: str) -> bool:
+        """Consume the current token if it matches ``value``."""
+        if self.peek().value == value and self.peek().kind != "eof":
+            self.advance()
+            return True
+        return False
+
+    def expect(self, value: str) -> Token:
+        """Consume a token equal to ``value`` or raise :class:`ParseError`."""
+        tok = self.peek()
+        if tok.value != value or tok.kind == "eof":
+            raise ParseError(
+                f"[{self.language}] line {tok.line}: expected {value!r}, got {tok.value!r}"
+            )
+        return self.advance()
+
+    def expect_kind(self, kind: str) -> Token:
+        """Consume a token of ``kind`` or raise."""
+        tok = self.peek()
+        if tok.kind != kind:
+            raise ParseError(
+                f"[{self.language}] line {tok.line}: expected {kind}, got {tok.kind} {tok.value!r}"
+            )
+        return self.advance()
+
+    # ----------------------------------------------------- subclass hooks
+    def parse_type(self) -> object:
+        """Parse a type spelling; subclasses override."""
+        raise NotImplementedError
+
+    def parse_primary_hook(self) -> Optional[ast.Expr]:
+        """Try language-specific primaries (``new int[n]``, ``std::``...)."""
+        return None
+
+    def parse_postfix_hook(self, expr: ast.Expr) -> Optional[ast.Expr]:
+        """Try language-specific postfix forms (``a.length``)."""
+        return None
+
+    def canonical_call(self, name: str, args: List[ast.Expr]) -> ast.Expr:
+        """Map a raw call to a canonical builtin or user call."""
+        return ast.Call(name, args)
+
+    def parse_print_hook(self) -> Optional[ast.Stmt]:
+        """Try the language's output statement; return None if absent."""
+        return None
+
+    # -------------------------------------------------------- expressions
+    def parse_expr(self, min_prec: int = 1) -> ast.Expr:
+        """Precedence-climbing binary expression parser."""
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            prec = BINARY_PRECEDENCE.get(tok.value) if tok.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self.advance()
+            right = self.parse_expr(prec + 1)
+            left = ast.BinOp(tok.value, left, right)
+
+    def parse_unary(self) -> ast.Expr:
+        """Unary minus / logical not / parenthesized / primary."""
+        tok = self.peek()
+        if tok.kind == "op" and tok.value == "-":
+            self.advance()
+            return ast.UnaryOp("-", self.parse_unary())
+        if tok.kind == "op" and tok.value == "!":
+            self.advance()
+            return ast.UnaryOp("!", self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        """Primary followed by subscripts / calls / language hooks."""
+        expr = self.parse_primary()
+        while True:
+            if self.accept("["):
+                idx = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(expr, idx)
+                continue
+            hooked = self.parse_postfix_hook(expr)
+            if hooked is not None:
+                expr = hooked
+                continue
+            return expr
+
+    def parse_call_args(self) -> List[ast.Expr]:
+        """Parse ``( expr, ... )`` after a callee name."""
+        self.expect("(")
+        args: List[ast.Expr] = []
+        if not self.check(")"):
+            args.append(self.parse_expr())
+            while self.accept(","):
+                args.append(self.parse_expr())
+        self.expect(")")
+        return args
+
+    def parse_primary(self) -> ast.Expr:
+        """Literals, identifiers, calls, parens, plus the language hook."""
+        hooked = self.parse_primary_hook()
+        if hooked is not None:
+            return hooked
+        tok = self.peek()
+        if tok.kind == "num":
+            self.advance()
+            text = tok.value.rstrip("lL")
+            return ast.IntLit(int(text, 0))
+        if tok.kind == "kw" and tok.value in ("true", "false"):
+            self.advance()
+            return ast.BoolLit(tok.value == "true")
+        if tok.kind == "op" and tok.value == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(")")
+            return inner
+        if tok.kind == "id":
+            self.advance()
+            if self.check("("):
+                args = self.parse_call_args()
+                return self.canonical_call(tok.value, args)
+            return ast.Var(tok.value)
+        raise ParseError(
+            f"[{self.language}] line {tok.line}: unexpected token {tok.value!r}"
+        )
+
+    # --------------------------------------------------------- statements
+    def parse_block(self) -> ast.Block:
+        """Parse ``{ stmt* }``."""
+        self.expect("{")
+        stmts: List[ast.Stmt] = []
+        while not self.check("}"):
+            stmts.append(self.parse_stmt())
+        self.expect("}")
+        return ast.Block(stmts)
+
+    def parse_block_or_single(self) -> ast.Block:
+        """A braced block, or a single statement wrapped in a block."""
+        if self.check("{"):
+            return self.parse_block()
+        return ast.Block([self.parse_stmt()])
+
+    def looks_like_decl(self) -> bool:
+        """True if the current tokens start a variable declaration."""
+        raise NotImplementedError
+
+    def parse_decl(self) -> ast.Stmt:
+        """Parse a variable declaration; subclasses override."""
+        raise NotImplementedError
+
+    def parse_stmt(self) -> ast.Stmt:
+        """Parse a single statement."""
+        tok = self.peek()
+        if tok.value == "{":
+            return self.parse_block()
+        if tok.value == "if":
+            return self.parse_if()
+        if tok.value == "while":
+            return self.parse_while()
+        if tok.value == "for":
+            return self.parse_for()
+        if tok.value == "return":
+            self.advance()
+            value = None if self.check(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value)
+        if tok.value == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break()
+        if tok.value == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue()
+        printed = self.parse_print_hook()
+        if printed is not None:
+            return printed
+        if self.looks_like_decl():
+            decl = self.parse_decl()
+            self.expect(";")
+            return decl
+        stmt = self.parse_simple_stmt()
+        self.expect(";")
+        return stmt
+
+    def parse_simple_stmt(self) -> ast.Stmt:
+        """Assignment (incl. ``+=``, ``++``) or expression statement."""
+        expr = self.parse_postfix()
+        tok = self.peek()
+        if tok.kind == "op" and tok.value == "=":
+            self.advance()
+            value = self.parse_expr()
+            return ast.Assign(expr, value)
+        if tok.kind == "op" and tok.value in AUG_ASSIGN:
+            self.advance()
+            value = self.parse_expr()
+            return ast.Assign(expr, ast.BinOp(AUG_ASSIGN[tok.value], expr, value))
+        if tok.kind == "op" and tok.value in ("++", "--"):
+            self.advance()
+            op = "+" if tok.value == "++" else "-"
+            return ast.Assign(expr, ast.BinOp(op, expr, ast.IntLit(1)))
+        # maybe the expression continues with binary operators (rare for a
+        # statement, but allow e.g. bare call chains)
+        if tok.kind == "op" and tok.value in BINARY_PRECEDENCE:
+            full = self.parse_expr_continue(expr)
+            return ast.ExprStmt(full)
+        return ast.ExprStmt(expr)
+
+    def parse_expr_continue(self, left: ast.Expr) -> ast.Expr:
+        """Continue a binary expression whose left side is already parsed."""
+        while True:
+            tok = self.peek()
+            prec = BINARY_PRECEDENCE.get(tok.value) if tok.kind == "op" else None
+            if prec is None:
+                return left
+            self.advance()
+            right = self.parse_expr(prec + 1)
+            left = ast.BinOp(tok.value, left, right)
+
+    def parse_if(self) -> ast.If:
+        """``if (cond) block [else block]``."""
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_block_or_single()
+        otherwise = None
+        if self.accept("else"):
+            if self.check("if"):
+                otherwise = ast.Block([self.parse_if()])
+            else:
+                otherwise = self.parse_block_or_single()
+        return ast.If(cond, then, otherwise)
+
+    def parse_while(self) -> ast.While:
+        """``while (cond) block``."""
+        self.expect("while")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        return ast.While(cond, self.parse_block_or_single())
+
+    def parse_for(self) -> ast.For:
+        """``for (init; cond; step) block``."""
+        self.expect("for")
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.check(";"):
+            init = self.parse_decl() if self.looks_like_decl() else self.parse_simple_stmt()
+        self.expect(";")
+        cond = None if self.check(";") else self.parse_expr()
+        self.expect(";")
+        step: Optional[ast.Stmt] = None
+        if not self.check(")"):
+            step = self.parse_simple_stmt()
+        self.expect(")")
+        return ast.For(init, cond, step, self.parse_block_or_single())

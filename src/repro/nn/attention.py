@@ -1,0 +1,122 @@
+"""Transformer encoder used by the XLIR(Transformer) baseline reproduction.
+
+A compact pre-LN transformer: sinusoidal positions, multi-head self-attention
+with key-padding masks, GELU-free (LeakyReLU) feed-forward, residuals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import Dropout, LayerNorm, Linear
+from repro.nn.module import Module, ModuleList
+from repro.nn.tensor import Tensor
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Classic sin/cos positional encoding table ``(length, dim)``."""
+    pos = np.arange(length, dtype=np.float32)[:, None]
+    idx = np.arange(dim, dtype=np.float32)[None, :]
+    angle = pos / np.power(10000.0, (2 * (idx // 2)) / dim)
+    table = np.zeros((length, dim), dtype=np.float32)
+    table[:, 0::2] = np.sin(angle[:, 0::2])
+    table[:, 1::2] = np.cos(angle[:, 1::2])
+    return table
+
+
+class MultiHeadSelfAttention(Module):
+    """Multi-head scaled dot-product self-attention with padding mask."""
+
+    def __init__(
+        self, dim: int, heads: int, rng: Optional[np.random.Generator] = None
+    ):  # noqa: D107
+        super().__init__()
+        if dim % heads != 0:
+            raise ValueError(f"dim {dim} not divisible by heads {heads}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.dim = dim
+        self.heads = heads
+        self.head_dim = dim // heads
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        """``x``: (B, T, D); ``key_padding_mask``: (B, T) with 1 = valid."""
+        b, t, d = x.shape
+        h, hd = self.heads, self.head_dim
+
+        def split(z: Tensor) -> Tensor:  # (B, T, D) -> (B, H, T, hd)
+            return z.reshape(b, t, h, hd).transpose(0, 2, 1, 3)
+
+        q = split(self.q_proj(x))
+        k = split(self.k_proj(x))
+        v = split(self.v_proj(x))
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / np.sqrt(hd))  # (B,H,T,T)
+        if key_padding_mask is not None:
+            neg = (1.0 - key_padding_mask.astype(np.float32)) * -1e9
+            scores = scores + Tensor(neg[:, None, None, :])
+        att = softmax(scores, axis=-1)
+        mixed = att @ v  # (B, H, T, hd)
+        merged = mixed.transpose(0, 2, 1, 3).reshape(b, t, d)
+        return self.out_proj(merged)
+
+
+class TransformerBlock(Module):
+    """Pre-LN transformer block: attention + feed-forward with residuals."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        ff_mult: int = 2,
+        dropout_p: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):  # noqa: D107
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, heads, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.ff1 = Linear(dim, dim * ff_mult, rng=rng)
+        self.ff2 = Linear(dim * ff_mult, dim, rng=rng)
+        self.drop = Dropout(dropout_p, rng=rng)
+
+    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        """One block: x + attn(LN(x)); x + FF(LN(x))."""
+        x = x + self.attn(self.norm1(x), key_padding_mask)
+        x = x + self.ff2(self.drop(self.ff1(self.norm2(x)).leaky_relu()))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of transformer blocks with sinusoidal position injection."""
+
+    def __init__(
+        self,
+        dim: int,
+        heads: int,
+        num_layers: int,
+        max_len: int = 512,
+        dropout_p: float = 0.1,
+        rng: Optional[np.random.Generator] = None,
+    ):  # noqa: D107
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.pos_table = sinusoidal_positions(max_len, dim)
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, heads, dropout_p=dropout_p, rng=rng) for _ in range(num_layers)]
+        )
+        self.final_norm = LayerNorm(dim)
+
+    def forward(self, x: Tensor, key_padding_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Encode ``(B, T, D)`` → ``(B, T, D)``."""
+        t = x.shape[1]
+        x = x + Tensor(self.pos_table[:t][None, :, :])
+        for block in self.blocks:
+            x = block(x, key_padding_mask)
+        return self.final_norm(x)

@@ -1,0 +1,28 @@
+"""Weight initializers (Glorot/Kaiming/normal), all seeded explicitly."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(rng: np.random.Generator, fan_in: int, fan_out: int, shape=None) -> np.ndarray:
+    """Glorot/Xavier uniform — PyG's default for GAT weight matrices."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    shape = shape if shape is not None else (fan_in, fan_out)
+    return rng.uniform(-limit, limit, size=shape).astype(np.float32)
+
+
+def kaiming_uniform(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:
+    """Kaiming uniform with a=sqrt(5) — PyTorch's Linear default."""
+    bound = np.sqrt(1.0 / fan_in) if fan_in > 0 else 0.0
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def normal(rng: np.random.Generator, shape, std: float = 0.02) -> np.ndarray:
+    """Gaussian init — used for embedding tables (GPT-style std=0.02)."""
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def zeros(shape) -> np.ndarray:
+    """All-zeros init for biases."""
+    return np.zeros(shape, dtype=np.float32)

@@ -1,0 +1,112 @@
+"""Optimizers: Adam (the paper's choice, lr 6.6e-5) and SGD, plus schedulers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Sequence[Parameter]):  # noqa: D107
+        self.params: List[Parameter] = list(params)
+
+    def zero_grad(self) -> None:
+        """Clear every parameter's gradient."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        """Apply one update using the accumulated gradients."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0):  # noqa: D107
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """v ← μv + g;  w ← w − lr·v."""
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba 2014) — the optimizer GraphBinMatch trains with."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 6.6e-5,
+        betas=(0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):  # noqa: D107
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        """Standard bias-corrected Adam update."""
+        self.t += 1
+        b1t = 1.0 - self.beta1**self.t
+        b2t = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay > 0:
+                g = g + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * (g * g)
+            m_hat = m / b1t
+            v_hat = v / b2t
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class CosineSchedule:
+    """Cosine learning-rate decay with linear warmup (optional extension)."""
+
+    def __init__(self, optimizer: Optimizer, base_lr: float, total_steps: int, warmup: int = 0):  # noqa: D107
+        self.optimizer = optimizer
+        self.base_lr = base_lr
+        self.total_steps = max(total_steps, 1)
+        self.warmup = warmup
+        self.step_num = 0
+
+    def step(self) -> float:
+        """Advance one step and set the optimizer's lr; returns the new lr."""
+        self.step_num += 1
+        if self.warmup and self.step_num <= self.warmup:
+            lr = self.base_lr * self.step_num / self.warmup
+        else:
+            progress = (self.step_num - self.warmup) / max(
+                self.total_steps - self.warmup, 1
+            )
+            progress = min(progress, 1.0)
+            lr = 0.5 * self.base_lr * (1.0 + np.cos(np.pi * progress))
+        self.optimizer.lr = lr
+        return lr

@@ -1,0 +1,76 @@
+"""Checkpointing: save/load module state and whole matchers to ``.npz``.
+
+A checkpoint is a single compressed NumPy archive holding the flat
+state-dict (parameters + buffers) plus JSON-encoded metadata (model config,
+tokenizer state).  No pickle is involved, so checkpoints are portable and
+safe to load from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta_json__"
+
+
+def save_state(module: Module, path: PathLike, meta: Optional[dict] = None) -> None:
+    """Write a module's state-dict (and optional JSON metadata) to ``path``.
+
+    The ``.npz`` extension is appended by NumPy if missing.
+    """
+    state = module.state_dict()
+    payload: Dict[str, np.ndarray] = dict(state)
+    if meta is not None:
+        payload[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+    np.savez_compressed(str(path), **payload)
+
+
+def load_state(module: Module, path: PathLike) -> Optional[dict]:
+    """Load a checkpoint written by :func:`save_state` into ``module``.
+
+    Returns the metadata dict (or None).  Raises ``KeyError``/``ValueError``
+    on any parameter-name or shape mismatch — a checkpoint for a different
+    architecture never half-loads.
+    """
+    path = _resolve(path)
+    with np.load(path) as archive:
+        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        meta = None
+        if _META_KEY in archive.files:
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    module.load_state_dict(state)
+    return meta
+
+
+def read_meta(path: PathLike) -> Optional[dict]:
+    """Read only the metadata of a checkpoint (cheap; no state is loaded)."""
+    path = _resolve(path)
+    with np.load(path) as archive:
+        if _META_KEY not in archive.files:
+            return None
+        return json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+
+
+def config_to_meta(config) -> dict:
+    """Serialize a dataclass config to a plain JSON-compatible dict."""
+    return dataclasses.asdict(config)
+
+
+def _resolve(path: PathLike) -> str:
+    p = str(path)
+    if not p.endswith(".npz") and not Path(p).exists():
+        candidate = p + ".npz"
+        if Path(candidate).exists():
+            return candidate
+    return p

@@ -1,0 +1,5 @@
+"""``repro.tokenize`` — the HuggingFace-tokenizer substitute."""
+
+from repro.tokenize.tokenizer import PAD, UNK, VAR, IRTokenizer, normalize_ir_text
+
+__all__ = ["IRTokenizer", "normalize_ir_text", "PAD", "UNK", "VAR"]

@@ -1,0 +1,16 @@
+"""Shared utilities: deterministic RNG, timing, and table rendering."""
+
+from repro.utils.rng import SeedSequence, derive_rng, global_rng, set_global_seed
+from repro.utils.tables import Table, format_float
+from repro.utils.timing import Timer, timed
+
+__all__ = [
+    "SeedSequence",
+    "derive_rng",
+    "global_rng",
+    "set_global_seed",
+    "Table",
+    "format_float",
+    "Timer",
+    "timed",
+]

@@ -1,0 +1,60 @@
+"""Lightweight timing helpers used by the benchmark harness.
+
+The hpc-parallel guides' first rule is *no optimization without measuring*;
+these helpers give every pipeline stage a cheap, always-on wall-clock probe
+without pulling in a profiler dependency.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator
+
+
+class Timer:
+    """Accumulates named wall-clock spans.
+
+    >>> t = Timer()
+    >>> with t.span("lowering"):
+    ...     pass
+    >>> "lowering" in t.totals
+    True
+    """
+
+    def __init__(self) -> None:  # noqa: D107
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Context manager that adds the elapsed time to bucket ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> str:
+        """Render the accumulated spans as an aligned text block."""
+        if not self.totals:
+            return "(no spans recorded)"
+        width = max(len(k) for k in self.totals)
+        lines = []
+        for name in sorted(self.totals, key=self.totals.get, reverse=True):
+            lines.append(
+                f"{name:<{width}}  {self.totals[name]:9.4f}s  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(label: str, sink: Callable[[str], None] = print) -> Iterator[None]:
+    """Print the wall-clock duration of a block: ``with timed("train"): ...``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink(f"[{label}] {time.perf_counter() - start:.3f}s")

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "gcd"])
+        assert args.language == "c"
+        assert args.variant == 0
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.num_tasks == 24
+        assert args.output == "graphbinmatch.npz"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_bad_language_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "gcd", "--language", "rust"])
+
+
+class TestTasksCommand:
+    def test_lists_registry(self, capsys):
+        assert main(["tasks"]) == 0
+        out = capsys.readouterr().out
+        assert "sum_array" in out
+        assert "gcd" in out
+
+
+class TestGenerateCommand:
+    def test_generates_source(self, capsys):
+        assert main(["generate", "sum_array", "--language", "java"]) == 0
+        out = capsys.readouterr().out
+        assert "sum_array/v0.java" in out
+        assert "source graph" in out
+        assert "decompiled graph" in out
+
+    def test_show_ir(self, capsys):
+        assert main(["generate", "gcd", "--show-ir"]) == 0
+        out = capsys.readouterr().out
+        assert "front-end IR" in out
+
+    def test_unknown_task_raises(self):
+        with pytest.raises(KeyError):
+            main(["generate", "not_a_task"])
+
+
+class TestTrainEvaluateRetrieve:
+    """End-to-end CLI pipeline at minimum scale (one tiny model)."""
+
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "model.npz"
+        rc = main([
+            "train",
+            "--num-tasks", "6",
+            "--variants", "1",
+            "--epochs", "2",
+            "--output", str(path),
+        ])
+        assert rc == 0
+        return path
+
+    def test_train_writes_checkpoint(self, checkpoint):
+        assert checkpoint.exists()
+
+    def test_evaluate_prints_metrics(self, checkpoint, capsys):
+        rc = main([
+            "evaluate", str(checkpoint),
+            "--num-tasks", "6", "--variants", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "precision=" in out
+        assert "f1=" in out
+
+    def test_retrieve_prints_metrics(self, checkpoint, capsys):
+        rc = main(["retrieve", str(checkpoint), "--num-tasks", "4", "--queries", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "MRR=" in out

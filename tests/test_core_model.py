@@ -1,0 +1,163 @@
+"""Tests for the GraphBinMatch model, trainer, baselines, and pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import B2SFinder, BinPro, LICCA, XLIRModel
+from repro.baselines.xlir import XLIRConfig, linearize
+from repro.config import cpu_config, scaled, tiny_data_config
+from repro.core.model import GraphBinMatch
+from repro.core.node_features import node_strings, train_tokenizer
+from repro.core.pipeline import MatcherPipeline, compile_to_views
+from repro.core.trainer import MatchTrainer
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import build_pairs
+from repro.graphs.batch import batch_graphs
+from repro.lang.generator import SolutionGenerator
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    builder = CorpusBuilder(tiny_data_config())
+    samples = builder.build(["c", "java"])
+    c = [s for s in samples if s.language == "c"]
+    j = [s for s in samples if s.language == "java"]
+    return build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=4)
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    cfg = scaled(cpu_config(), epochs=8, hidden_dim=32, embed_dim=24, num_layers=2)
+    trainer = MatchTrainer(cfg)
+    report = trainer.train(dataset)
+    return trainer, report
+
+
+class TestModelForward:
+    def test_scores_in_unit_interval(self, dataset, trained):
+        trainer, _ = trained
+        scores = trainer.predict(dataset.test)
+        assert len(scores) == len(dataset.test)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_training_reduces_loss(self, trained):
+        _, report = trained
+        assert report.epoch_losses[-1] < report.epoch_losses[0]
+
+    def test_odd_graph_count_rejected(self, dataset, trained):
+        trainer, _ = trained
+        model = trainer.model
+        batch = batch_graphs([dataset.test[0].left])
+        from repro.core.node_features import encode_nodes
+
+        ids = encode_nodes(trainer.tokenizer, batch)
+        with pytest.raises(ValueError):
+            model(batch, ids)
+
+    def test_pad_never_wins_max(self, trained, dataset):
+        trainer, _ = trained
+        model = trainer.model
+        # All-PAD row (id 0) must embed to zeros, not -1e9 garbage.
+        ids = np.zeros((2, 4), dtype=np.int64)
+        out = model.node_features(ids).data
+        np.testing.assert_allclose(out, 0.0)
+
+    def test_deterministic_inference(self, dataset, trained):
+        trainer, _ = trained
+        a = trainer.predict(dataset.test[:4])
+        b = trainer.predict(dataset.test[:4])
+        np.testing.assert_allclose(a, b)
+
+    def test_feature_mode_text_changes_tokens(self, dataset):
+        full = train_tokenizer([dataset.train[0].left], mode="full_text", max_vocab=128)
+        text = train_tokenizer([dataset.train[0].left], mode="text", max_vocab=128)
+        assert full.vocab_size > text.vocab_size  # full_text is richer
+
+    def test_learns_better_than_chance(self, dataset, trained):
+        trainer, _ = trained
+        scores = trainer.predict(dataset.train[:20])
+        labels = np.array([p.label for p in dataset.train[:20]])
+        from repro.eval.metrics import classification_metrics
+
+        m = classification_metrics(labels, scores >= 0.5)
+        assert m.accuracy > 0.6  # on (seen) training pairs
+
+
+class TestBaselines:
+    def test_linearize_contains_ir(self, dataset):
+        text = linearize(dataset.train[0].right)
+        assert "i32" in text
+
+    def test_xlir_lstm_runs(self, dataset):
+        cfg = XLIRConfig(encoder="lstm", epochs=1, max_tokens=32, embed_dim=16, hidden_dim=16)
+        model = XLIRModel(cfg)
+        losses = model.fit(dataset.train[:16])
+        assert len(losses) == 1
+        scores = model.score(dataset.test[:6])
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_xlir_transformer_runs(self, dataset):
+        cfg = XLIRConfig(encoder="transformer", epochs=1, max_tokens=32, embed_dim=16, hidden_dim=16)
+        model = XLIRModel(cfg)
+        model.fit(dataset.train[:16])
+        scores = model.score(dataset.test[:6])
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_xlir_unknown_encoder_rejected(self):
+        with pytest.raises(ValueError):
+            XLIRModel(XLIRConfig(encoder="mamba")).fit([])
+
+    def test_binpro_scores(self, dataset):
+        model = BinPro()
+        model.fit(dataset.train)
+        scores = model.score(dataset.test)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_b2sfinder_separates_somewhat(self, dataset):
+        model = B2SFinder()
+        model.fit(dataset.train)
+        scores = model.score(dataset.train)
+        labels = np.array([p.label for p in dataset.train])
+        # same-task pairs should look at least a bit more similar on average
+        assert scores[labels == 1].mean() > scores[labels == 0].mean()
+
+    def test_licca_identical_graph_high(self, dataset):
+        p = dataset.train[0]
+        from repro.data.pairs import MatchingPair
+
+        twin = MatchingPair(p.right, p.right, 1, p.task_right, p.task_right)
+        score = LICCA().score([twin])[0]
+        assert score > 0.95
+
+
+class TestPipeline:
+    C_SRC = (
+        "int triple(int x) { return x * 3; }\n"
+        'int main() { printf("%d\\n", triple(5)); return 0; }\n'
+    )
+
+    def test_compile_to_views(self):
+        views = compile_to_views(self.C_SRC, "c")
+        assert views.source_graph.num_nodes > 0
+        assert views.decompiled_graph.num_nodes > views.source_graph.num_nodes
+        assert len(views.binary_bytes) > 0
+
+    def test_unsupported_language(self):
+        with pytest.raises(ValueError):
+            compile_to_views("fn main() {}", "rust")
+
+    def test_pipeline_requires_trained_model(self):
+        with pytest.raises(ValueError):
+            MatcherPipeline(MatchTrainer(cpu_config()))
+
+    def test_match_and_rank(self, trained):
+        trainer, _ = trained
+        pipe = MatcherPipeline(trainer)
+        views = compile_to_views(self.C_SRC, "c")
+        score = pipe.match_binary_to_source(views.binary_bytes, self.C_SRC, "c")
+        assert 0.0 <= score <= 1.0
+        gen = SolutionGenerator(seed=4)
+        other = gen.generate("gcd", 0, "java").text
+        ranked = pipe.rank_sources(views.binary_bytes, [(self.C_SRC, "c"), (other, "java")])
+        assert len(ranked) == 2
+        assert {i for i, _ in ranked} == {0, 1}

@@ -1,0 +1,163 @@
+"""Tests for corpus building, pair construction, metrics, and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.config import DataConfig, tiny_data_config
+from repro.data.corpus import CorpusBuilder, corpus_statistics
+from repro.data.pairs import build_pairs, split_tasks
+from repro.eval.analysis import node_count_statistics
+from repro.eval.metrics import ClassificationMetrics, classification_metrics, confusion
+from repro.eval.threshold import best_threshold, sweep_thresholds
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    builder = CorpusBuilder(tiny_data_config())
+    samples = builder.build(["c", "java"])
+    return builder, samples
+
+
+class TestCorpus:
+    def test_samples_have_both_views(self, corpus):
+        _, samples = corpus
+        s = samples[0]
+        assert s.source_graph.num_nodes > 0
+        assert s.decompiled_graph.num_nodes > 0
+        assert len(s.binary_bytes) > 0
+
+    def test_statistics_shape(self, corpus):
+        builder, _ = corpus
+        stats = corpus_statistics(builder)
+        assert set(stats) == {"c", "java"}
+        for lang in stats:
+            assert stats[lang]["sources"] >= stats[lang]["llvm_ir"]
+            assert stats[lang]["llvm_ir"] == stats[lang]["binaries"]
+
+    def test_compile_failures_modelled(self):
+        cfg = DataConfig(num_tasks=8, variants=3, seed=0, compile_failure_pct=30)
+        builder = CorpusBuilder(cfg)
+        builder.build(["c"])
+        stats = corpus_statistics(builder)
+        assert stats["c"]["llvm_ir"] < stats["c"]["sources"]
+
+    def test_zero_failure_keeps_all(self):
+        cfg = DataConfig(num_tasks=4, variants=2, seed=0, compile_failure_pct=0)
+        builder = CorpusBuilder(cfg)
+        builder.build(["c"])
+        stats = corpus_statistics(builder)
+        assert stats["c"]["llvm_ir"] == stats["c"]["sources"]
+
+    def test_decompiled_ir_larger(self, corpus):
+        _, samples = corpus
+        bigger = sum(
+            1 for s in samples if s.decompiled_graph.num_nodes > s.source_graph.num_nodes
+        )
+        assert bigger / len(samples) > 0.9
+
+    def test_determinism(self):
+        cfg = tiny_data_config()
+        a = CorpusBuilder(cfg).build(["c"])
+        b = CorpusBuilder(cfg).build(["c"])
+        assert [s.identifier for s in a] == [s.identifier for s in b]
+        assert a[0].binary_bytes == b[0].binary_bytes
+
+
+class TestPairs:
+    def test_split_proportions(self):
+        tasks = [f"t{i}" for i in range(10)]
+        tr, va, te = split_tasks(tasks, seed=0)
+        assert len(tr) == 6 and len(va) == 2 and len(te) == 2
+        assert set(tr) | set(va) | set(te) == set(tasks)
+
+    def test_split_deterministic(self):
+        tasks = [f"t{i}" for i in range(10)]
+        assert split_tasks(tasks, 1) == split_tasks(tasks, 1)
+        assert split_tasks(tasks, 1) != split_tasks(tasks, 2)
+
+    def test_balanced_labels(self, corpus):
+        _, samples = corpus
+        c = [s for s in samples if s.language == "c"]
+        j = [s for s in samples if s.language == "java"]
+        ds = build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=6)
+        labels = [p.label for p in ds.train]
+        assert labels.count(1) == labels.count(0) > 0
+
+    def test_positive_pairs_same_task(self, corpus):
+        _, samples = corpus
+        c = [s for s in samples if s.language == "c"]
+        j = [s for s in samples if s.language == "java"]
+        ds = build_pairs(c, j, "binary", "source", seed=0)
+        for p in ds.train + ds.valid + ds.test:
+            if p.label == 1:
+                assert p.task_left == p.task_right
+            else:
+                assert p.task_left != p.task_right
+
+    def test_no_task_leakage_between_splits(self, corpus):
+        _, samples = corpus
+        c = [s for s in samples if s.language == "c"]
+        ds = build_pairs(c, c, "binary", "source", seed=0)
+        train_tasks = {p.task_left for p in ds.train} | {p.task_right for p in ds.train}
+        test_tasks = {p.task_left for p in ds.test if p.label == 1}
+        assert not (train_tasks & test_tasks)
+
+    def test_binary_side_uses_decompiled_graph(self, corpus):
+        _, samples = corpus
+        c = [s for s in samples if s.language == "c"]
+        ds = build_pairs(c, c, "binary", "source", seed=0)
+        pos = next(p for p in ds.train if p.label == 1)
+        # decompiled graphs contain recovered register variables (i64)
+        assert any("i64" in t for t in pos.left.node_full_texts)
+
+
+class TestMetrics:
+    def test_confusion_counts(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        preds = np.array([1, 0, 1, 0, 1])
+        assert confusion(labels, preds) == (2, 1, 1, 1)
+
+    def test_perfect_prediction(self):
+        m = classification_metrics(np.array([1, 0, 1]), np.array([1, 0, 1]))
+        assert m.precision == m.recall == m.f1 == m.accuracy == 1.0
+
+    def test_all_negative_prediction(self):
+        m = classification_metrics(np.array([1, 1]), np.array([0, 0]))
+        assert m.precision == 0.0 and m.recall == 0.0 and m.f1 == 0.0
+
+    def test_f1_is_harmonic_mean(self):
+        m = ClassificationMetrics(tp=3, tn=0, fp=1, fn=3)
+        p, r = 3 / 4, 3 / 6
+        assert m.f1 == pytest.approx(2 * p * r / (p + r))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion(np.array([1]), np.array([1, 0]))
+
+    def test_sweep_monotone_recall(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 100)
+        scores = np.clip(labels * 0.5 + rng.random(100) * 0.5, 0, 1)
+        points = sweep_thresholds(labels, scores)
+        recalls = [p.recall for p in points]
+        assert all(a >= b - 1e-9 for a, b in zip(recalls, recalls[1:]))
+
+    def test_best_threshold_range(self):
+        labels = np.array([1, 1, 0, 0])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        th = best_threshold(labels, scores)
+        assert 0.2 < th <= 0.8
+
+
+class TestAnalysis:
+    def test_node_stats_cells(self, corpus):
+        _, samples = corpus
+        c = [s for s in samples if s.language == "c"]
+        ds = build_pairs(c, c, "binary", "source", seed=0)
+        pairs = ds.train
+        labels = np.array([p.label for p in pairs])
+        preds = labels.copy()  # perfect predictions: only TP and TN cells
+        stats = node_count_statistics(pairs, labels, preds)
+        assert stats["true_positive"]["count"] == int(labels.sum())
+        assert stats["false_positive"]["count"] == 0
+        assert stats["true_positive"]["mean_nodes"] > 0

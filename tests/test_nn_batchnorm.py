@@ -1,0 +1,149 @@
+"""Tests for BatchNorm1d, Tensor.abs, and the interaction pair head."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn as nn
+from repro.config import cpu_config, scaled
+from repro.core.model import GraphBinMatch
+from repro.nn.tensor import Tensor
+
+from tests.helpers import check_gradients
+
+
+class TestBatchNorm1d:
+    def test_training_output_is_standardized(self):
+        bn = nn.BatchNorm1d(4)
+        bn.train()
+        x = Tensor(np.random.default_rng(0).normal(3.0, 2.0, (64, 4)).astype(np.float32))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_move_toward_batch_stats(self):
+        bn = nn.BatchNorm1d(2, momentum=0.5)
+        bn.train()
+        x = Tensor(np.full((8, 2), 10.0, dtype=np.float32))
+        bn(x)
+        assert np.all(bn.running_mean > 4.0)  # moved half-way toward 10
+
+    def test_eval_uses_running_stats(self):
+        bn = nn.BatchNorm1d(2)
+        bn.eval()
+        x = Tensor(np.array([[1.0, 2.0]], dtype=np.float32))
+        out = bn(x).data  # running stats are (0, 1) initially
+        np.testing.assert_allclose(out, [[1.0, 2.0]], atol=1e-4)
+
+    def test_eval_is_batch_size_independent(self):
+        bn = nn.BatchNorm1d(3)
+        bn.train()
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            bn(Tensor(rng.normal(size=(16, 3)).astype(np.float32)))
+        bn.eval()
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        full = bn(Tensor(x)).data
+        single = np.concatenate([bn(Tensor(x[i : i + 1])).data for i in range(4)])
+        np.testing.assert_allclose(full, single, rtol=1e-5)
+
+    def test_single_row_training_batch_falls_back_to_running(self):
+        bn = nn.BatchNorm1d(2)
+        bn.train()
+        out = bn(Tensor(np.array([[5.0, 5.0]], dtype=np.float32))).data
+        assert np.all(np.isfinite(out))  # no division by zero variance
+
+    def test_affine_params_receive_gradient(self):
+        bn = nn.BatchNorm1d(3)
+        bn.train()
+        x = Tensor(np.random.default_rng(2).normal(size=(8, 3)).astype(np.float32))
+        bn(x).sum().backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+        np.testing.assert_allclose(bn.beta.grad, 8.0)  # d(sum)/d(beta) = batch size
+
+    def test_gamma_gradient_matches_finite_difference(self):
+        bn = nn.BatchNorm1d(2)
+        bn.train()
+        x_data = np.random.default_rng(3).normal(size=(6, 2)).astype(np.float32)
+
+        def fn():
+            bn.running_mean = np.zeros(2, dtype=np.float32)
+            bn.running_var = np.ones(2, dtype=np.float32)
+            return (bn(Tensor(x_data)) ** 2).sum()
+
+        check_gradients(fn, [bn.gamma, bn.beta])
+
+    def test_parameters_registered(self):
+        bn = nn.BatchNorm1d(4)
+        names = {p.name for p in bn.parameters()}
+        assert names == {"gamma", "beta"}
+
+
+class TestTensorAbs:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-10, 10, width=32), min_size=1, max_size=20))
+    def test_matches_numpy(self, values):
+        x = Tensor(np.asarray(values, dtype=np.float32))
+        np.testing.assert_allclose(x.abs().data, np.abs(x.data))
+
+    def test_gradient_is_sign(self):
+        x = Tensor(np.array([-2.0, 3.0, -0.5]), requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0, -1.0])
+
+    def test_gradient_zero_at_zero(self):
+        x = Tensor(np.array([0.0]), requires_grad=True)
+        x.abs().sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0])
+
+
+class TestInteractionHead:
+    def _model(self, pair_features):
+        cfg = scaled(
+            cpu_config(),
+            embed_dim=8,
+            hidden_dim=8,
+            num_layers=1,
+            pair_features=pair_features,
+        )
+        return GraphBinMatch(vocab_size=32, config=cfg), cfg
+
+    def test_concat_head_input_dim(self):
+        model, cfg = self._model("concat")
+        assert model.fc1.in_features == 4 * cfg.hidden_dim
+
+    def test_interaction_head_input_dim(self):
+        model, cfg = self._model("interaction")
+        assert model.fc1.in_features == 8 * cfg.hidden_dim
+
+    def test_unknown_pair_features_rejected(self):
+        with pytest.raises(ValueError):
+            self._model("bilinear")
+
+    def test_interaction_scores_differ_from_concat(self):
+        ma, _ = self._model("concat")
+        mb, _ = self._model("interaction")
+        emb = Tensor(np.random.default_rng(0).normal(size=(4, 16)).astype(np.float32))
+        ma.eval(), mb.eval()
+        sa = ma.score_from_embeddings(emb).data
+        sb = mb.score_from_embeddings(emb).data
+        assert sa.shape == sb.shape == (2,)
+        assert not np.allclose(sa, sb)
+
+    def test_interaction_features_symmetric_under_swap(self):
+        """|a-b| and a*b are symmetric; only the concat part breaks symmetry."""
+        model, _ = self._model("interaction")
+        model.eval()
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(1, 16)).astype(np.float32)
+        b = rng.normal(size=(1, 16)).astype(np.float32)
+        emb_ab = Tensor(np.concatenate([a, b]))
+        emb_ba = Tensor(np.concatenate([b, a]))
+        s_ab = model.score_from_embeddings(emb_ab).data.reshape(-1)
+        s_ba = model.score_from_embeddings(emb_ba).data.reshape(-1)
+        # Not asserting equality (concat part is order-sensitive); both must
+        # be valid probabilities from the same embedding pair.
+        assert 0.0 <= float(s_ab[0]) <= 1.0
+        assert 0.0 <= float(s_ba[0]) <= 1.0

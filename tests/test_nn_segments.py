@@ -1,0 +1,214 @@
+"""Tests for the sorted segment-reduction engine (repro.nn.segments).
+
+The engine replaces ``np.add.at`` / ``np.maximum.at``; every property test
+compares against exactly those references, so a regression in the fast path
+cannot hide.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.functional import segment_max, segment_mean, segment_softmax, segment_sum
+from repro.nn.segments import (
+    ConvPlan,
+    SegmentIndex,
+    as_segment_index,
+    build_conv_plan,
+    scatter_add_rows,
+    seg_counts,
+    seg_max,
+    seg_sum,
+)
+from repro.nn.tensor import Tensor
+
+
+def ref_seg_sum(data, ids, num_segments):
+    out = np.zeros((num_segments,) + data.shape[1:], dtype=np.float32)
+    np.add.at(out, ids, data)
+    return out
+
+
+def ref_seg_max(data, ids, num_segments, empty=0.0):
+    out = np.full((num_segments,) + data.shape[1:], -np.inf, dtype=np.float32)
+    np.maximum.at(out, ids, data)
+    out[~np.isfinite(out)] = empty
+    return out
+
+
+@st.composite
+def segment_case(draw, max_items=60, max_segments=12, cols=None):
+    n_seg = draw(st.integers(1, max_segments))
+    n_items = draw(st.integers(0, max_items))
+    ids = np.asarray(
+        draw(st.lists(st.integers(0, n_seg - 1), min_size=n_items, max_size=n_items)),
+        dtype=np.int64,
+    )
+    c = cols if cols is not None else draw(st.integers(1, 5))
+    data = (
+        draw(
+            st.lists(
+                st.floats(-10, 10, width=32),
+                min_size=n_items * c,
+                max_size=n_items * c,
+            )
+        )
+    )
+    data = np.asarray(data, dtype=np.float32).reshape(n_items, c)
+    return ids, data, n_seg
+
+
+class TestSegmentIndex:
+    def test_empty(self):
+        si = SegmentIndex(np.zeros(0, dtype=np.int64), 5)
+        assert len(si) == 0
+        assert seg_sum(np.zeros((0, 3), dtype=np.float32), si).shape == (5, 3)
+        assert np.all(seg_counts(si) == 0)
+
+    def test_basic_layout(self):
+        si = SegmentIndex(np.array([2, 0, 2, 1]), 4)
+        assert sorted(si.unique.tolist()) == [0, 1, 2]
+        counts = seg_counts(si)
+        np.testing.assert_array_equal(counts, [1, 1, 2, 0])
+
+    def test_as_segment_index_passthrough(self):
+        si = SegmentIndex(np.array([0, 1]), 2)
+        assert as_segment_index(si, 2) is si
+
+    def test_as_segment_index_wrong_count_rejected(self):
+        si = SegmentIndex(np.array([0, 1]), 2)
+        with pytest.raises(ValueError):
+            as_segment_index(si, 3)
+
+    def test_matrix_is_cached(self):
+        si = SegmentIndex(np.array([0, 1, 1]), 2)
+        assert si.matrix() is si.matrix()
+
+    def test_matrix_rows_sum_items(self):
+        ids = np.array([0, 1, 1, 3])
+        si = SegmentIndex(ids, 4)
+        m = si.matrix().toarray()
+        assert m.shape == (4, 4)
+        np.testing.assert_array_equal(m.sum(axis=1), [1, 2, 0, 1])
+
+
+class TestRawReductions:
+    @settings(max_examples=60, deadline=None)
+    @given(segment_case())
+    def test_seg_sum_matches_add_at(self, case):
+        ids, data, n_seg = case
+        si = SegmentIndex(ids, n_seg)
+        np.testing.assert_allclose(
+            seg_sum(data, si), ref_seg_sum(data, ids, n_seg), rtol=1e-4, atol=1e-4
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(segment_case())
+    def test_seg_max_matches_maximum_at(self, case):
+        ids, data, n_seg = case
+        si = SegmentIndex(ids, n_seg)
+        np.testing.assert_allclose(
+            seg_max(data, si), ref_seg_max(data, ids, n_seg), rtol=1e-5
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(segment_case(cols=3))
+    def test_scatter_add_rows_matches_add_at(self, case):
+        ids, data, n_seg = case
+        ref = np.zeros((n_seg, 3), dtype=np.float32)
+        np.add.at(ref, ids, data)
+        np.testing.assert_allclose(
+            scatter_add_rows(n_seg, ids, data), ref, rtol=1e-4, atol=1e-4
+        )
+
+    def test_scatter_add_rows_multidim_indices(self):
+        idx = np.array([[0, 1], [1, 0]])
+        upd = np.ones((2, 2, 3), dtype=np.float32)
+        out = scatter_add_rows(2, idx, upd)
+        np.testing.assert_allclose(out, np.full((2, 3), 2.0))
+
+    def test_scatter_add_rows_scalar_payload(self):
+        idx = np.array([0, 0, 1])
+        upd = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = scatter_add_rows(3, idx, upd)
+        np.testing.assert_allclose(out, [3.0, 3.0, 0.0])
+
+    def test_seg_sum_1d_payload(self):
+        si = SegmentIndex(np.array([0, 0, 2]), 3)
+        out = seg_sum(np.array([1.0, 2.0, 5.0], dtype=np.float32), si)
+        np.testing.assert_allclose(out, [3.0, 0.0, 5.0])
+
+    def test_seg_max_empty_fill(self):
+        si = SegmentIndex(np.array([0]), 3)
+        out = seg_max(np.array([[2.0]], dtype=np.float32), si, empty=-7.0)
+        np.testing.assert_allclose(out[1:], -7.0)
+
+
+class TestFunctionalWithIndex:
+    """The functional wrappers must accept a prebuilt SegmentIndex."""
+
+    def test_segment_sum_accepts_index(self):
+        ids = np.array([0, 1, 1])
+        x = Tensor(np.eye(3, dtype=np.float32), requires_grad=True)
+        si = SegmentIndex(ids, 2)
+        out_idx = segment_sum(x, si, 2)
+        out_raw = segment_sum(Tensor(np.eye(3, dtype=np.float32)), ids, 2)
+        np.testing.assert_allclose(out_idx.data, out_raw.data)
+
+    def test_segment_sum_gradient_with_index(self):
+        ids = np.array([0, 1, 1, 0])
+        x = Tensor(np.arange(8, dtype=np.float32).reshape(4, 2), requires_grad=True)
+        si = SegmentIndex(ids, 2)
+        segment_sum(x, si, 2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones((4, 2)))
+
+    def test_segment_max_gradient_ties_split(self):
+        ids = np.array([0, 0])
+        x = Tensor(np.array([[3.0], [3.0]]), requires_grad=True)
+        segment_max(x, SegmentIndex(ids, 1), 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5], [0.5]])
+
+    def test_segment_softmax_sums_to_one_per_segment(self):
+        ids = np.array([0, 0, 1, 1, 1])
+        scores = Tensor(np.random.default_rng(0).normal(size=(5, 2)).astype(np.float32))
+        alpha = segment_softmax(scores, SegmentIndex(ids, 2), 2).data
+        np.testing.assert_allclose(alpha[:2].sum(axis=0), 1.0, rtol=1e-5)
+        np.testing.assert_allclose(alpha[2:].sum(axis=0), 1.0, rtol=1e-5)
+
+    def test_segment_mean_counts(self):
+        ids = np.array([0, 0, 1])
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = segment_mean(x, SegmentIndex(ids, 3), 3)
+        np.testing.assert_allclose(out.data, [[3.0], [6.0], [0.0]])
+
+
+class TestConvPlan:
+    def test_self_loops_appended(self):
+        edges = np.array([[0, 1], [1, 2]])
+        plan = build_conv_plan(edges, np.array([0, 1]), 4, add_self_loops=True)
+        assert plan.src.shape == (6,)  # 2 edges + 4 loops
+        np.testing.assert_array_equal(plan.src[2:], np.arange(4))
+        np.testing.assert_array_equal(plan.dst[2:], np.arange(4))
+        np.testing.assert_array_equal(plan.pos[2:], 0)
+
+    def test_no_self_loops(self):
+        edges = np.array([[0], [1]])
+        plan = build_conv_plan(edges, None, 3, add_self_loops=False)
+        assert plan.src.shape == (1,)
+        assert plan.pos is None
+
+    def test_empty_edges(self):
+        plan = build_conv_plan(None, None, 3, add_self_loops=True)
+        np.testing.assert_array_equal(plan.src, np.arange(3))
+        assert plan.dst_index.num_segments == 3
+
+    def test_dst_index_consistent(self):
+        edges = np.array([[0, 1, 2], [2, 2, 0]])
+        plan = build_conv_plan(edges, None, 3)
+        np.testing.assert_array_equal(plan.dst_index.ids, plan.dst)
+
+    def test_plan_is_dataclass_with_num_nodes(self):
+        plan = build_conv_plan(None, None, 5)
+        assert isinstance(plan, ConvPlan)
+        assert plan.num_nodes == 5

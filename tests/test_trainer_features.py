@@ -1,0 +1,81 @@
+"""Tests for trainer features added on top of the paper's loop:
+early stopping, label smoothing, and the encoded-batch reuse."""
+
+import numpy as np
+import pytest
+
+from repro.config import cpu_config, scaled, tiny_data_config
+from repro.core.trainer import MatchTrainer
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import build_pairs
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    builder = CorpusBuilder(tiny_data_config())
+    samples = builder.build(["c", "java"])
+    c = [s for s in samples if s.language == "c"]
+    j = [s for s in samples if s.language == "java"]
+    return build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=3)
+
+
+def _cfg(**kw):
+    base = dict(epochs=3, hidden_dim=16, embed_dim=16, num_layers=1)
+    base.update(kw)
+    return scaled(cpu_config(), **base)
+
+
+class TestEarlyStopping:
+    def test_records_curve_and_best_epoch(self, dataset):
+        tr = MatchTrainer(_cfg())
+        report = tr.train(dataset, early_stopping=True)
+        assert len(report.valid_f1_curve) == 3
+        assert 0 <= report.best_epoch < 3
+
+    def test_disabled_by_default(self, dataset):
+        tr = MatchTrainer(_cfg())
+        report = tr.train(dataset)
+        assert report.valid_f1_curve == []
+        assert report.best_epoch == -1
+
+    def test_restores_best_epoch_weights(self, dataset):
+        """After training, predictions must match the best epoch's state —
+        i.e. retraining for exactly best_epoch+1 epochs with the same seed
+        gives the same scores."""
+        tr = MatchTrainer(_cfg(epochs=4))
+        report = tr.train(dataset, early_stopping=True)
+        scores_full = tr.predict(dataset.test[:4])
+
+        tr2 = MatchTrainer(_cfg(epochs=report.best_epoch + 1))
+        tr2.train(dataset, early_stopping=False)
+        scores_cut = tr2.predict(dataset.test[:4])
+        np.testing.assert_allclose(scores_full, scores_cut, rtol=1e-4, atol=1e-5)
+
+
+class TestLabelSmoothing:
+    def test_smoothing_changes_training(self, dataset):
+        a = MatchTrainer(_cfg(label_smoothing=0.0))
+        ra = a.train(dataset)
+        b = MatchTrainer(_cfg(label_smoothing=0.3))
+        rb = b.train(dataset)
+        assert not np.allclose(ra.epoch_losses, rb.epoch_losses)
+
+    def test_smoothed_loss_floor(self, dataset):
+        """With smoothing s the minimal achievable BCE is H(s/2) > 0."""
+        s = 0.3
+        tr = MatchTrainer(_cfg(label_smoothing=s, epochs=5))
+        report = tr.train(dataset)
+        floor = -(s / 2 * np.log(s / 2) + (1 - s / 2) * np.log(1 - s / 2))
+        assert report.epoch_losses[-1] >= floor - 1e-3
+
+
+class TestTrainingDeterminism:
+    def test_same_seed_same_losses(self, dataset):
+        a = MatchTrainer(_cfg()).train(dataset)
+        b = MatchTrainer(_cfg()).train(dataset)
+        np.testing.assert_allclose(a.epoch_losses, b.epoch_losses, rtol=1e-6)
+
+    def test_different_seed_different_losses(self, dataset):
+        a = MatchTrainer(_cfg(seed=1)).train(dataset)
+        b = MatchTrainer(_cfg(seed=2)).train(dataset)
+        assert not np.allclose(a.epoch_losses, b.epoch_losses)
