@@ -1,0 +1,107 @@
+"""Retrieval scaling — pairwise re-encoding vs the embedding index.
+
+Not a paper table: this bench backs the repo's retrieval subsystem
+(``repro.index``).  The paper's headline use cases are retrieval workflows
+(find the source for a binary fragment, §I), and the naive evaluator
+re-runs the full GNN encoder for every (query, candidate) pair — O(Q×C)
+encoder forwards.  The siamese structure makes that redundant: encode each
+graph once, re-run only the pair head per pair.
+
+The bench ranks ``NUM_QUERIES`` binary queries against growing source
+corpora both ways and reports wall-clock plus *encoder forward passes*
+(graphs pushed through the GNN, read from
+``GraphBinMatch.encoder_graph_count``).  Asserted shape at the largest
+corpus (50 candidates):
+
+* index scores match pairwise scores to 1e-5 — same model, same numbers;
+* the index path runs ≥ 5× fewer encoder forwards (it is O(Q+C) = 58
+  versus O(2·Q·C) = 800 here).
+"""
+
+import time
+
+import numpy as np
+
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import MatchingPair
+from repro.index import EmbeddingIndex
+from repro.utils.tables import Table
+
+from benchmarks.common import bench_data_cfg, crosslang_dataset, run_once, trained_gbm
+
+CORPUS_SIZES = (10, 25, 50)
+NUM_QUERIES = 8
+
+
+def _run():
+    dataset, _ = crosslang_dataset(("c",), ("java",), num_tasks=12, variants=2)
+    trainer = trained_gbm("retrieval-scaling", dataset, epochs=6)
+    # The retrieval corpus is larger than the training corpus on purpose:
+    # scaling candidates is the variable under test.
+    corpus = CorpusBuilder(bench_data_cfg(num_tasks=24, variants=3)).build(["c", "java"])
+    sources = [s.source_graph for s in corpus if s.language == "java"]
+    queries = [s.decompiled_graph for s in corpus if s.language == "c"][:NUM_QUERIES]
+    assert len(sources) >= max(CORPUS_SIZES) and len(queries) == NUM_QUERIES
+    model = trainer.model
+
+    rows = []
+    for size in CORPUS_SIZES:
+        candidates = sources[:size]
+
+        model.encoder_graph_count = 0
+        t0 = time.perf_counter()
+        pairwise = np.stack(
+            [
+                trainer.predict([MatchingPair(q, c, 0, "?", "?") for c in candidates])
+                for q in queries
+            ]
+        )
+        pairwise_s = time.perf_counter() - t0
+        pairwise_encodes = model.encoder_graph_count
+
+        model.encoder_graph_count = 0
+        t0 = time.perf_counter()
+        index = EmbeddingIndex(trainer)
+        index.add(candidates)
+        indexed = np.stack([index.scores(q) for q in queries])
+        index_s = time.perf_counter() - t0
+        index_encodes = model.encoder_graph_count
+
+        rows.append(
+            {
+                "size": size,
+                "pairwise_s": pairwise_s,
+                "pairwise_encodes": pairwise_encodes,
+                "index_s": index_s,
+                "index_encodes": index_encodes,
+                "speedup": pairwise_s / index_s if index_s else float("inf"),
+                "max_diff": float(np.abs(pairwise - indexed).max()),
+            }
+        )
+    return rows
+
+
+def test_retrieval_scaling(benchmark):
+    rows = run_once(benchmark, _run)
+    table = Table(
+        f"Retrieval scaling: {NUM_QUERIES} binary queries, pairwise vs embedding index",
+        ["Candidates", "Pairwise s", "Encodes", "Index s", "Encodes", "Speedup", "Max |Δscore|"],
+    )
+    for r in rows:
+        table.add_row(
+            r["size"],
+            round(r["pairwise_s"], 3),
+            r["pairwise_encodes"],
+            round(r["index_s"], 3),
+            r["index_encodes"],
+            round(r["speedup"], 1),
+            f"{r['max_diff']:.2e}",
+        )
+    print()
+    print(table.render())
+    largest = rows[-1]
+    assert largest["size"] == 50
+    # Same model, same numbers: the index only skips redundant encoding.
+    assert largest["max_diff"] <= 1e-5
+    # Encode-once: O(Q+C) forwards beats O(2·Q·C) by ≥ 5× at 50 candidates.
+    assert largest["pairwise_encodes"] >= 5 * largest["index_encodes"]

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 test suite + a ~30s end-to-end smoke.
+#
+# The smoke exercises the full user path the README quickstart promises:
+# train a tiny model, build an embedding index over a source corpus, and
+# query it with a compiled binary — through the CLI, not test harnesses.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== smoke: train -> index build -> index query =="
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+python -m repro train --num-tasks 6 --variants 1 --epochs 2 --output "$tmp/model.npz"
+python -m repro index build "$tmp/model.npz" --output "$tmp/index.npz" --num-tasks 6 --variants 1
+python -m repro index query "$tmp/model.npz" "$tmp/index.npz" --task gcd --language c --top-k 3
+
+echo "verify: OK"

@@ -7,6 +7,9 @@ Commands
                checkpoint.
 ``evaluate``   Load a checkpoint and report P/R/F1 on a rebuilt test split.
 ``retrieve``   Retrieval demo: rank source candidates for binary queries.
+``index``      Embedding-index retrieval: ``index build`` encodes a source
+               corpus once into an ``.npz`` index; ``index query`` ranks
+               the indexed sources for a binary query via the pair head.
 ``tasks``      List the task templates the generator knows.
 
 Everything is deterministic given ``--seed``; commands print the exact
@@ -61,6 +64,24 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--num-tasks", type=int, default=8)
     r.add_argument("--queries", type=int, default=5)
     r.add_argument("--seed", type=int, default=0)
+
+    ix = sub.add_parser("index", help="build / query a persistent embedding index")
+    ixsub = ix.add_subparsers(dest="index_command", required=True)
+    ib = ixsub.add_parser("build", help="encode a source corpus into an .npz index")
+    ib.add_argument("checkpoint")
+    ib.add_argument("--output", default="index.npz", help="index path")
+    ib.add_argument("--languages", default="java", help="comma list, source side")
+    ib.add_argument("--num-tasks", type=int, default=8)
+    ib.add_argument("--variants", type=int, default=1)
+    ib.add_argument("--seed", type=int, default=0)
+    iq = ixsub.add_parser("query", help="rank indexed sources for a binary query")
+    iq.add_argument("checkpoint")
+    iq.add_argument("index")
+    iq.add_argument("--task", default="gcd", help="task to compile as the query binary")
+    iq.add_argument("--language", default="c", choices=("c", "cpp", "java"))
+    iq.add_argument("--variant", type=int, default=0)
+    iq.add_argument("--seed", type=int, default=0)
+    iq.add_argument("--top-k", type=int, default=5)
 
     sub.add_parser("tasks", help="list available task templates")
     return p
@@ -162,10 +183,65 @@ def cmd_retrieve(args) -> int:
     candidates = retrieval_corpus_from_samples(
         [s for s in samples if s.language == "java"], "source"
     )
-    res = evaluate_retrieval(trainer.predict, queries, candidates)
+    # Passing the trainer itself (not trainer.predict) takes the
+    # encode-once fast path: O(Q+C) encoder forwards instead of O(Q×C).
+    res = evaluate_retrieval(trainer, queries, candidates)
     print(f"queries: {res.num_queries}  candidates: {len(candidates)}")
     print(f"MRR={res.mrr:.3f}  Hit@1={res.hit_at[1]:.3f}  "
           f"Hit@5={res.hit_at[5]:.3f}  MAP={res.mean_average_precision:.3f}")
+    return 0
+
+
+def cmd_index(args) -> int:
+    """Dispatch ``index build`` / ``index query``."""
+    return _INDEX_COMMANDS[args.index_command](args)
+
+
+def cmd_index_build(args) -> int:
+    """Encode every source graph of a generated corpus into one index."""
+    from repro.config import DataConfig
+    from repro.core.trainer import MatchTrainer
+    from repro.data.corpus import CorpusBuilder
+    from repro.index import EmbeddingIndex
+
+    trainer = MatchTrainer.load(args.checkpoint)
+    cfg = DataConfig(num_tasks=args.num_tasks, variants=args.variants, seed=args.seed)
+    samples = CorpusBuilder(cfg).build(args.languages.split(","))
+    index = EmbeddingIndex(trainer)
+    t0 = time.time()
+    index.add(
+        [s.source_graph for s in samples],
+        metas=[
+            {"id": s.identifier, "task": s.task, "language": s.language}
+            for s in samples
+        ],
+    )
+    written = index.save(args.output)
+    print(f"indexed {len(index)} source graphs in {time.time() - t0:.1f}s "
+          f"({index.cache_misses} encoded, {index.cache_hits} cache hits)")
+    print(f"index -> {written}")
+    return 0
+
+
+def cmd_index_query(args) -> int:
+    """Compile one solution to a binary and rank the indexed sources."""
+    from repro.core.pipeline import compile_to_views
+    from repro.core.trainer import MatchTrainer
+    from repro.index import EmbeddingIndex
+    from repro.lang.generator import SolutionGenerator
+
+    trainer = MatchTrainer.load(args.checkpoint)
+    index = EmbeddingIndex.load(args.index, trainer)
+    gen = SolutionGenerator(seed=args.seed, independent=True)
+    sf = gen.generate(args.task, args.variant, args.language)
+    views = compile_to_views(sf.text, sf.language, name=sf.identifier)
+    print(f"query: {sf.identifier} ({len(views.binary_bytes)} byte binary, "
+          f"{views.decompiled_graph.num_nodes} node decompiled graph)")
+    hits = index.topk(views.decompiled_graph, k=args.top_k)
+    for rank, hit in enumerate(hits, 1):
+        label = hit.meta.get("id", hit.key[:12])
+        marker = " *" if hit.meta.get("task") == args.task else ""
+        print(f"{rank:>3}. {hit.score:.4f}  {label}{marker}")
     return 0
 
 
@@ -183,7 +259,13 @@ _COMMANDS = {
     "train": cmd_train,
     "evaluate": cmd_evaluate,
     "retrieve": cmd_retrieve,
+    "index": cmd_index,
     "tasks": cmd_tasks,
+}
+
+_INDEX_COMMANDS = {
+    "build": cmd_index_build,
+    "query": cmd_index_query,
 }
 
 

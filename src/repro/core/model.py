@@ -71,6 +71,10 @@ class GraphBinMatch(nn.Module):
         self.fc_norm = nn.LayerNorm(config.hidden_dim)
         self.dropout = nn.Dropout(config.dropout, rng=derive_rng(config.seed, "dropout"))
         self.fc2 = nn.Linear(config.hidden_dim, 1, rng=rng)
+        # Graphs pushed through the (expensive) encoder, cumulative.  The
+        # retrieval benchmarks read this to show the embedding index really
+        # does encode each graph once; not part of the checkpoint state.
+        self.encoder_graph_count = 0
 
     # ----------------------------------------------------------- encoding
     def node_features(self, token_ids: np.ndarray) -> Tensor:
@@ -95,6 +99,7 @@ class GraphBinMatch(nn.Module):
         """
         from repro.nn.functional import segment_max
 
+        self.encoder_graph_count += batch.num_graphs
         x = self.node_features(token_ids)
         h = self.gnn(x, plans=batch.conv_plans())
         gi = batch.graph_index()

@@ -9,6 +9,7 @@ decompile → graph on the binary side).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
@@ -19,6 +20,7 @@ from repro.binary.decompiler import decompile_bytes
 from repro.core.trainer import MatchTrainer
 from repro.data.pairs import MatchingPair
 from repro.graphs.programl import ProgramGraph, build_graph
+from repro.index import EmbeddingIndex
 from repro.ir.lowering import lower_program
 from repro.ir.passes import optimize
 from repro.lang.minic import parse_minic
@@ -26,6 +28,25 @@ from repro.lang.minicpp import parse_minicpp
 from repro.lang.minijava import parse_minijava
 
 _PARSERS = {"c": parse_minic, "cpp": parse_minicpp, "java": parse_minijava}
+
+
+def _parse(source_text: str, language: str):
+    if language not in _PARSERS:
+        raise ValueError(f"unsupported language {language!r}")
+    program = _PARSERS[language](source_text)
+    program.language = language
+    return program
+
+
+def source_graph_of(source_text: str, language: str, name: str = "unit") -> ProgramGraph:
+    """Source text → source-IR graph, skipping the binary half entirely.
+
+    ``compile_to_views`` exists for callers that need both views; building
+    only the source graph must not pay for codegen + decompilation of a
+    binary that is immediately discarded.
+    """
+    program = _parse(source_text, language)
+    return build_graph(lower_program(program, name=name), name=name)
 
 
 @dataclass
@@ -45,10 +66,7 @@ def compile_to_views(
     name: str = "unit",
 ) -> CompiledViews:
     """Run the full pipeline on one source file."""
-    if language not in _PARSERS:
-        raise ValueError(f"unsupported language {language!r}")
-    program = _PARSERS[language](source_text)
-    program.language = language
+    program = _parse(source_text, language)
     src_mod = lower_program(program, name=name)
     src_graph = build_graph(src_mod, name=name)
     bin_mod = lower_program(program, name=name + ".bin")
@@ -67,8 +85,8 @@ class MatcherPipeline:
         self.trainer = trainer
 
     def graph_of_source(self, text: str, language: str) -> ProgramGraph:
-        """Source text → source-IR program graph."""
-        return compile_to_views(text, language).source_graph
+        """Source text → source-IR program graph (source-only fast path)."""
+        return source_graph_of(text, language)
 
     def graph_of_binary(self, raw: bytes, name: str = "binary") -> ProgramGraph:
         """Binary bytes → decompiled-IR program graph."""
@@ -87,19 +105,68 @@ class MatcherPipeline:
             self.graph_of_binary(raw), self.graph_of_source(source_text, language)
         )
 
+    @staticmethod
+    def _candidates_tag(candidates: Sequence[Tuple[str, str]]) -> str:
+        h = hashlib.sha256()
+        for text, lang in candidates:
+            h.update(lang.encode())
+            h.update(b"\x00")
+            h.update(text.encode())
+            h.update(b"\x01")
+        return h.hexdigest()[:16]
+
+    def source_index(self, candidates: Sequence[Tuple[str, str]]) -> EmbeddingIndex:
+        """Encode candidate ``(source_text, language)`` files into an index.
+
+        Build this once and pass it to :meth:`rank_sources` to amortize the
+        encoder across many binary queries; entry ``i`` corresponds to
+        ``candidates[i]`` (the index is tagged with a content hash of the
+        candidate list, which :meth:`rank_sources` checks on reuse).
+        """
+        index = EmbeddingIndex(self.trainer)
+        graphs = [self.graph_of_source(text, lang) for text, lang in candidates]
+        index.add(
+            graphs,
+            metas=[
+                {"candidate": i, "language": lang}
+                for i, (_, lang) in enumerate(candidates)
+            ],
+        )
+        index.tag = self._candidates_tag(candidates)
+        return index
+
     def rank_sources(
-        self, raw: bytes, candidates: Sequence[Tuple[str, str]]
+        self,
+        raw: bytes,
+        candidates: Sequence[Tuple[str, str]],
+        index: Optional[EmbeddingIndex] = None,
     ) -> List[Tuple[int, float]]:
         """Rank candidate ``(source_text, language)`` files for a binary.
 
         Returns ``(candidate_index, score)`` sorted by descending score —
         the reverse-engineering retrieval workflow from the paper's intro.
+        Candidates are encoded once into an :class:`EmbeddingIndex` (pass a
+        prebuilt one from :meth:`source_index` to reuse it across queries)
+        and each query runs one encoder forward plus the vectorized pair
+        head, instead of re-encoding every pair from scratch.
         """
-        left = self.graph_of_binary(raw)
-        pairs = [
-            MatchingPair(left, self.graph_of_source(text, lang), 0, "?", "?")
-            for text, lang in candidates
-        ]
-        scores = self.trainer.predict(pairs)
-        order = np.argsort(-scores)
+        if index is None:
+            index = self.source_index(candidates)
+        else:
+            if index.trainer is not self.trainer:
+                raise ValueError(
+                    "index was built by a different trainer; rebuild with "
+                    "this pipeline's source_index()"
+                )
+            if len(index) != len(candidates):
+                raise ValueError(
+                    f"index has {len(index)} entries for {len(candidates)} candidates"
+                )
+            if index.tag != self._candidates_tag(candidates):
+                raise ValueError(
+                    "index does not match this candidate list (tag "
+                    f"{index.tag!r}); build it with source_index()"
+                )
+        scores = index.scores(self.graph_of_binary(raw))
+        order = np.argsort(-scores, kind="stable")
         return [(int(i), float(scores[i])) for i in order]

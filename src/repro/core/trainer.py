@@ -18,6 +18,7 @@ from repro.core.model import GraphBinMatch
 from repro.core.node_features import encode_nodes, train_tokenizer
 from repro.data.pairs import MatchingPair, PairDataset
 from repro.graphs.batch import batch_graphs
+from repro.graphs.programl import ProgramGraph
 from repro.nn.functional import clip_grad_norm
 from repro.nn.tensor import no_grad
 from repro.tokenize.tokenizer import IRTokenizer
@@ -156,13 +157,73 @@ class MatchTrainer:
         from repro.nn.serialize import load_state, read_meta
 
         meta = read_meta(path)
-        if meta is None:
+        if meta is None or "config" not in meta or "tokenizer" not in meta:
             raise ValueError(f"{path} has no GraphBinMatch metadata")
         config = ModelConfig(**meta["config"])
         tokenizer = IRTokenizer.from_state(meta["tokenizer"])
         trainer = cls(config, tokenizer=tokenizer)
         load_state(trainer._ensure_model(), path)
         return trainer
+
+    # --------------------------------------------------------- embeddings
+    def encode_graphs(
+        self, graphs: Sequence["ProgramGraph"], batch_size: int = 32
+    ) -> np.ndarray:
+        """Graph-level embeddings ``(G, 2H)``, each graph encoded exactly once.
+
+        This is the siamese half of the matcher: the expensive part of a
+        pairwise score is the GNN encoder, and ``score_from_embeddings`` only
+        consumes the pooled embeddings.  Retrieval therefore encodes the
+        corpus once through this API and re-runs just the pair head per
+        query (see :mod:`repro.index`).  Runs in eval mode — BatchNorm uses
+        running statistics and dropout is inert — so an embedding does not
+        depend on which other graphs shared its batch and caching is exact.
+        """
+        model = self._ensure_model()
+        model.eval()
+        out: List[np.ndarray] = []
+        with no_grad():
+            for start in range(0, len(graphs), batch_size):
+                chunk = graphs[start : start + batch_size]
+                batch = batch_graphs(chunk)
+                token_ids = encode_nodes(self.tokenizer, batch, self.config.feature_mode)
+                out.append(model.encode_graphs(batch, token_ids).data.copy())
+        if not out:
+            return np.zeros((0, 2 * self.config.hidden_dim), dtype=np.float32)
+        return np.concatenate(out, axis=0)
+
+    def embed_many(
+        self, graphs: Sequence["ProgramGraph"], batch_size: int = 32
+    ) -> np.ndarray:
+        """Alias for :meth:`encode_graphs` (the retrieval-facing name)."""
+        return self.encode_graphs(graphs, batch_size=batch_size)
+
+    def score_embeddings(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        """Pair-head scores for pre-computed embedding rows, vectorized.
+
+        ``left``/``right`` are ``(N, 2H)`` matrices (or single ``(2H,)``
+        rows) from :meth:`encode_graphs`.  The rows are interleaved into the
+        layout :meth:`GraphBinMatch.score_from_embeddings` expects, so both
+        ``pair_features`` modes (``concat`` and ``interaction``) go through
+        the same vectorized path as a full forward — only without the
+        encoder.
+        """
+        left = np.atleast_2d(np.asarray(left, dtype=np.float32))
+        right = np.atleast_2d(np.asarray(right, dtype=np.float32))
+        if left.shape != right.shape:
+            raise ValueError(f"embedding shapes differ: {left.shape} vs {right.shape}")
+        if left.shape[0] == 0:
+            return np.zeros(0, dtype=np.float32)
+        model = self._ensure_model()
+        model.eval()
+        interleaved = np.empty((2 * left.shape[0], left.shape[1]), dtype=np.float32)
+        interleaved[0::2] = left
+        interleaved[1::2] = right
+        from repro.nn.tensor import Tensor
+
+        with no_grad():
+            scores = model.score_from_embeddings(Tensor(interleaved))
+        return np.atleast_1d(scores.data).astype(np.float32, copy=True)
 
     # ----------------------------------------------------------- predict
     def predict(self, pairs: Sequence[MatchingPair], batch_size: int = 32) -> np.ndarray:

@@ -10,7 +10,12 @@ ranked-retrieval evaluator with the standard metrics: MRR, top-k accuracy
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+try:  # Protocol: py3.8+; keep a fallback for exotic interpreters
+    from typing import Protocol
+except ImportError:  # pragma: no cover
+    Protocol = object  # type: ignore[assignment]
 
 import numpy as np
 
@@ -55,8 +60,68 @@ class RankedQuery:
 ScoreFn = Callable[[Sequence[MatchingPair]], np.ndarray]
 
 
-def rank_candidates(
+class EmbeddingScorer(Protocol):
+    """The encode-once protocol: what the retrieval fast path needs.
+
+    :class:`~repro.core.trainer.MatchTrainer` is the canonical
+    implementation — pass the trainer itself (not its ``predict`` method,
+    which is a plain :data:`ScoreFn` and takes the O(Q×C) fallback).
+    """
+
+    def encode_graphs(
+        self, graphs: Sequence[ProgramGraph], batch_size: int = 32
+    ) -> np.ndarray:  # noqa: D102 — protocol signature
+        ...
+
+    def score_embeddings(self, left: np.ndarray, right: np.ndarray) -> np.ndarray:  # noqa: D102
+        ...
+
+
+Scorer = Union[ScoreFn, EmbeddingScorer]
+
+
+def _exposes_embeddings(scorer) -> bool:
+    """True when ``scorer`` supports the encode-once protocol.
+
+    Any object with ``encode_graphs`` + ``score_embeddings`` qualifies —
+    :class:`~repro.core.trainer.MatchTrainer` is the canonical one.  Plain
+    callables (the historical ``ScoreFn``) take the pairwise fallback.
+    """
+    return hasattr(scorer, "encode_graphs") and hasattr(scorer, "score_embeddings")
+
+
+def _ranked(
+    q_task: str,
+    candidates: Sequence[Tuple[ProgramGraph, str]],
+    scores: np.ndarray,
+) -> RankedQuery:
+    order = np.argsort(-scores, kind="stable")
+    ranked_tasks = [candidates[i][1] for i in order]
+    relevant = np.asarray([q_task == candidates[i][1] for i in order], dtype=bool)
+    return RankedQuery(q_task, ranked_tasks, relevant)
+
+
+def _pairwise_scores(
     score_fn: ScoreFn,
+    query: Tuple[ProgramGraph, str],
+    candidates: Sequence[Tuple[ProgramGraph, str]],
+    batch_size: int,
+) -> np.ndarray:
+    qg, q_task = query
+    pairs = [
+        MatchingPair(qg, cg, int(q_task == c_task), q_task, c_task)
+        for cg, c_task in candidates
+    ]
+    return np.concatenate(
+        [
+            np.atleast_1d(score_fn(pairs[i : i + batch_size]))
+            for i in range(0, len(pairs), batch_size)
+        ]
+    )
+
+
+def rank_candidates(
+    score_fn: Scorer,
     query: Tuple[ProgramGraph, str],
     candidates: Sequence[Tuple[ProgramGraph, str]],
     batch_size: int = 64,
@@ -64,27 +129,24 @@ def rank_candidates(
     """Score a query graph against every candidate and sort descending.
 
     ``query`` and each candidate are ``(graph, task_name)``; relevance is
-    task equality (the dataset's matching definition, §II).
+    task equality (the dataset's matching definition, §II).  An
+    embedding-capable scorer (see :func:`_exposes_embeddings`) encodes the
+    query and each candidate once and runs only the pair head per pair.
     """
     qg, q_task = query
-    pairs = [
-        MatchingPair(qg, cg, int(q_task == c_task), q_task, c_task)
-        for cg, c_task in candidates
-    ]
-    scores = np.concatenate(
-        [
-            np.atleast_1d(score_fn(pairs[i : i + batch_size]))
-            for i in range(0, len(pairs), batch_size)
-        ]
-    )
-    order = np.argsort(-scores, kind="stable")
-    ranked_tasks = [candidates[i][1] for i in order]
-    relevant = np.asarray([q_task == candidates[i][1] for i in order], dtype=bool)
-    return RankedQuery(q_task, ranked_tasks, relevant)
+    if _exposes_embeddings(score_fn):
+        from repro.index.embedding_index import score_pairs_tiled
+
+        q = score_fn.encode_graphs([qg], batch_size)
+        cand = score_fn.encode_graphs([g for g, _ in candidates], batch_size)
+        scores = score_pairs_tiled(score_fn, q, cand)[0]
+    else:
+        scores = _pairwise_scores(score_fn, query, candidates, batch_size)
+    return _ranked(q_task, candidates, scores)
 
 
 def evaluate_retrieval(
-    score_fn: ScoreFn,
+    score_fn: Scorer,
     queries: Sequence[Tuple[ProgramGraph, str]],
     candidates: Sequence[Tuple[ProgramGraph, str]],
     ks: Sequence[int] = (1, 3, 5, 10),
@@ -94,15 +156,33 @@ def evaluate_retrieval(
 
     Queries whose task has no relevant candidate are skipped (their metrics
     are undefined); if all are skipped the result is all-zero.
+
+    When the scorer exposes embeddings (``encode_graphs`` +
+    ``score_embeddings`` — pass the :class:`MatchTrainer` itself, not its
+    ``predict`` method) the sweep takes the fast path: the candidate corpus
+    and the query set are each encoded once, then all Q×C scores come from
+    the vectorized pair head over the tiled embedding matrices — O(Q+C)
+    encoder forwards instead of O(Q×C).  Callable scorers keep the original
+    per-pair path, so oracle/baseline score functions still work.
     """
+    cand_tasks = {c_task for _, c_task in candidates}
+    kept = [q for q in queries if q[1] in cand_tasks]
+    if _exposes_embeddings(score_fn) and kept and candidates:
+        from repro.index.embedding_index import score_pairs_tiled
+
+        cand_emb = score_fn.encode_graphs([g for g, _ in candidates], batch_size)
+        query_emb = score_fn.encode_graphs([g for g, _ in kept], batch_size)
+        all_scores = score_pairs_tiled(score_fn, query_emb, cand_emb)
+        rankings = [
+            _ranked(q_task, candidates, row)
+            for (_, q_task), row in zip(kept, all_scores)
+        ]
+    else:
+        rankings = [rank_candidates(score_fn, q, candidates, batch_size) for q in kept]
     rrs: List[float] = []
     hits: Dict[int, List[float]] = {k: [] for k in ks}
     aps: List[float] = []
-    for query in queries:
-        has_relevant = any(c_task == query[1] for _, c_task in candidates)
-        if not has_relevant:
-            continue
-        ranked = rank_candidates(score_fn, query, candidates, batch_size)
+    for ranked in rankings:
         first = ranked.first_relevant_rank
         rrs.append(1.0 / first if first else 0.0)
         for k in ks:

@@ -1,0 +1,17 @@
+"""Encode-once / score-many retrieval over GraphBinMatch embeddings."""
+
+from repro.index.embedding_index import (
+    EmbeddingIndex,
+    Hit,
+    graph_fingerprint,
+    model_fingerprint,
+    score_pairs_tiled,
+)
+
+__all__ = [
+    "EmbeddingIndex",
+    "Hit",
+    "graph_fingerprint",
+    "model_fingerprint",
+    "score_pairs_tiled",
+]

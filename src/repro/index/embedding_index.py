@@ -1,0 +1,358 @@
+"""The embedding index: corpus-scale retrieval without re-encoding.
+
+The paper's retrieval workflows (find the source for a binary fragment,
+find the binary for a vulnerable source, §I) score one query against many
+candidates.  GraphBinMatch is siamese — ``encode_graphs`` embeds each side
+independently and the pair head only consumes the two embeddings — yet the
+naive loop re-runs the full GNN encoder for every (query, candidate) pair:
+O(Q×C) encoder forwards for Q queries over C candidates.
+
+:class:`EmbeddingIndex` restructures that into encode-once / score-many:
+
+* every corpus graph is embedded **exactly once** through
+  :meth:`MatchTrainer.encode_graphs`, keyed by a content hash of the graph
+  so duplicate adds (and repeated queries) are cache hits, not forwards;
+* a query runs one encoder forward, then the lightweight pair head —
+  ``score_from_embeddings`` vectorized over the tiled query×candidate
+  embedding matrix, covering both ``pair_features`` modes — against the
+  whole corpus in a single call: O(Q + C) encoder forwards total;
+* the index persists to ``.npz`` (embeddings + JSON metadata, no pickle),
+  so a corpus is embedded once per checkpoint, not once per process.
+
+Exactness: embeddings are produced in eval mode (BatchNorm running
+statistics, no dropout), so index scores match pairwise ``predict`` scores
+to float tolerance — see ``tests/test_index.py`` and
+``benchmarks/bench_retrieval_scaling.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.graphs.programl import ProgramGraph
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta_json__"
+
+
+def model_fingerprint(trainer) -> str:
+    """Content hash of the trainer's weights and tokenizer state.
+
+    Embeddings are only meaningful against the exact model that produced
+    them; two checkpoints with the same architecture but different weights
+    would silently mis-score.  Saved indexes record this and loading
+    verifies it.
+    """
+    h = hashlib.sha256()
+    for name, arr in sorted(trainer.model.state_dict().items()):
+        h.update(name.encode())
+        h.update(np.ascontiguousarray(arr).tobytes())
+    h.update(json.dumps(trainer.tokenizer.state(), sort_keys=True).encode())
+    return h.hexdigest()[:16]
+
+
+def score_pairs_tiled(
+    scorer,
+    query_emb: np.ndarray,
+    cand_emb: np.ndarray,
+    row_budget: int = 16384,
+) -> np.ndarray:
+    """All query×candidate pair-head scores ``(Q, C)``, chunked.
+
+    The single tiling implementation shared by :meth:`EmbeddingIndex.scores`
+    and the fast paths in :mod:`repro.eval.retrieval`: queries are repeated
+    and candidates tiled into the interleave-ready layout
+    ``scorer.score_embeddings`` expects, processed in query chunks so the
+    pair-head activation matrix never exceeds ~``row_budget`` rows no
+    matter how large Q×C grows.
+    """
+    queries = np.atleast_2d(np.asarray(query_emb, dtype=np.float32))
+    cands = np.atleast_2d(np.asarray(cand_emb, dtype=np.float32))
+    num_q, num_c = queries.shape[0], cands.shape[0]
+    if num_q == 0 or num_c == 0:
+        return np.zeros((num_q, num_c), dtype=np.float32)
+    # Chunk both axes: a corpus larger than the budget alone must not
+    # defeat the bound.
+    c_chunk = min(num_c, max(row_budget, 1))
+    q_chunk = max(1, row_budget // c_chunk)
+    out = np.empty((num_q, num_c), dtype=np.float32)
+    for i in range(0, num_q, q_chunk):
+        nq = min(q_chunk, num_q - i)
+        for j in range(0, num_c, c_chunk):
+            nc = min(c_chunk, num_c - j)
+            block = scorer.score_embeddings(
+                np.repeat(queries[i : i + nq], nc, axis=0),
+                np.tile(cands[j : j + nc], (nq, 1)),
+            )
+            out[i : i + nq, j : j + nc] = block.reshape(nq, nc)
+    return out
+
+
+def graph_fingerprint(graph: ProgramGraph) -> str:
+    """Content hash of a program graph's structure and features.
+
+    Covers everything the encoder consumes — node feature strings, node
+    types, per-relation edges and operand positions, source language — and
+    deliberately excludes the graph ``name``: structurally identical graphs
+    share one embedding.
+    """
+    h = hashlib.sha256()
+    h.update(graph.source_language.encode())
+    for text in graph.node_texts:
+        h.update(text.encode())
+        h.update(b"\x00")
+    h.update(b"\x01")
+    for full in graph.node_full_texts:
+        h.update(full.encode())
+        h.update(b"\x00")
+    h.update(np.asarray(graph.node_types, dtype=np.int64).tobytes())
+    for rel in sorted(graph.edges):
+        h.update(rel.encode())
+        h.update(np.ascontiguousarray(graph.edges[rel], dtype=np.int64).tobytes())
+        pos = graph.positions.get(rel)
+        if pos is not None:
+            h.update(np.ascontiguousarray(pos, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class Hit:
+    """One retrieval result: entry position, score and its metadata."""
+
+    index: int
+    score: float
+    meta: dict = field(default_factory=dict)
+    key: str = ""
+
+
+class EmbeddingIndex:
+    """Encode-once corpus of graph embeddings answering top-k queries.
+
+    Entries keep insertion order, so :meth:`scores` is aligned with the
+    order graphs were :meth:`add`-ed — callers that rank an external
+    candidate list (``MatcherPipeline.rank_sources``) rely on this.
+    """
+
+    def __init__(self, trainer, query_cache_size: int = 256):  # noqa: D107
+        if trainer.model is None:
+            raise ValueError("trainer has no trained model")
+        self.trainer = trainer
+        self.dim = 2 * trainer.config.hidden_dim
+        self._cache: Dict[str, np.ndarray] = {}
+        # Query embeddings live in a separate bounded LRU: corpus entries
+        # must stay (they back `embeddings`), but a long-lived index serving
+        # mostly-unique queries would otherwise grow without bound.
+        self._query_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+        self.query_cache_size = query_cache_size
+        self._keys: List[str] = []
+        self._metas: List[dict] = []
+        self._matrix: Optional[np.ndarray] = None
+        # Optional caller-set identity for the corpus behind the entries
+        # (e.g. MatcherPipeline stores a hash of its candidate list here);
+        # persisted by save()/load() and checked by callers, not by us.
+        self.tag: Optional[str] = None
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # ------------------------------------------------------------- sizing
+    def __len__(self) -> int:
+        """Number of indexed entries."""
+        return len(self._keys)
+
+    @property
+    def metas(self) -> List[dict]:
+        """Per-entry metadata copies, in insertion order.
+
+        Copies, so callers can annotate freely without corrupting what
+        :meth:`save` persists or what integrity checks read.
+        """
+        return [dict(m) for m in self._metas]
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Entry embeddings ``(C, 2H)`` in insertion order."""
+        if self._matrix is None:
+            if not self._keys:
+                self._matrix = np.zeros((0, self.dim), dtype=np.float32)
+            else:
+                self._matrix = np.stack([self._cache[k] for k in self._keys])
+        return self._matrix
+
+    # ------------------------------------------------------------ loading
+    def add(
+        self,
+        graphs: Sequence[ProgramGraph],
+        metas: Optional[Sequence[dict]] = None,
+        batch_size: int = 32,
+    ) -> List[str]:
+        """Index graphs (with optional per-graph metadata); returns keys.
+
+        Only graphs whose fingerprint is not already cached hit the
+        encoder; duplicates — within this call or against earlier adds and
+        queries — reuse the cached embedding.
+        """
+        if metas is None:
+            metas = [{} for _ in graphs]
+        if len(metas) != len(graphs):
+            raise ValueError("metas must match graphs 1:1")
+        keys = [graph_fingerprint(g) for g in graphs]
+        fresh: Dict[str, ProgramGraph] = {}
+        for key, graph in zip(keys, graphs):
+            if key in self._cache or key in fresh:
+                continue
+            if key in self._query_cache:
+                # Seen as a query earlier: promote, don't re-encode.
+                self._cache[key] = self._query_cache.pop(key)
+                continue
+            fresh[key] = graph
+        if fresh:
+            embedded = self.trainer.embed_many(list(fresh.values()), batch_size)
+            for key, row in zip(fresh, embedded):
+                self._cache[key] = row
+        self.cache_misses += len(fresh)
+        self.cache_hits += len(graphs) - len(fresh)
+        self._keys.extend(keys)
+        self._metas.extend(dict(m) for m in metas)
+        self._matrix = None
+        return keys
+
+    def embed_query(self, graph: ProgramGraph) -> np.ndarray:
+        """Query embedding ``(2H,)``, cached by content hash like entries.
+
+        Queries matching a corpus entry reuse its embedding; other query
+        embeddings are kept in an LRU bounded by ``query_cache_size``.
+        """
+        key = graph_fingerprint(graph)
+        if key in self._cache:
+            self.cache_hits += 1
+            return self._cache[key]
+        if key in self._query_cache:
+            self.cache_hits += 1
+            self._query_cache.move_to_end(key)
+            return self._query_cache[key]
+        self.cache_misses += 1
+        embedded = self.trainer.encode_graphs([graph])[0]
+        self._query_cache[key] = embedded
+        # Trim after insert; return the local so query_cache_size=0
+        # (caching disabled) still works.
+        while len(self._query_cache) > max(self.query_cache_size, 0):
+            self._query_cache.popitem(last=False)
+        return embedded
+
+    # ------------------------------------------------------------ queries
+    def scores(
+        self,
+        graph: Optional[ProgramGraph] = None,
+        *,
+        embedding: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Pair-head scores against every entry, in insertion order.
+
+        The query goes on the matcher's *left* (binary) side, entries on
+        the right (source) side — the orientation ``MatchingPair`` and the
+        training corpus use throughout.
+        """
+        if (graph is None) == (embedding is None):
+            raise ValueError("pass exactly one of graph / embedding")
+        q = embedding if embedding is not None else self.embed_query(graph)
+        q = np.asarray(q, dtype=np.float32).reshape(-1)
+        if q.shape[0] != self.dim:
+            raise ValueError(f"query embedding has dim {q.shape[0]}, index has {self.dim}")
+        if not self._keys:
+            return np.zeros(0, dtype=np.float32)
+        return score_pairs_tiled(self.trainer, q, self.embeddings)[0]
+
+    def topk(
+        self,
+        graph: Optional[ProgramGraph] = None,
+        k: Optional[int] = None,
+        *,
+        embedding: Optional[np.ndarray] = None,
+    ) -> List[Hit]:
+        """Top-k entries by descending score (all entries when k is None)."""
+        scores = self.scores(graph, embedding=embedding)
+        order = np.argsort(-scores, kind="stable")
+        if k is not None:
+            order = order[:k]
+        return [
+            Hit(int(i), float(scores[i]), dict(self._metas[i]), self._keys[i])
+            for i in order
+        ]
+
+    # -------------------------------------------------------- persistence
+    def save(self, path: PathLike) -> str:
+        """Persist embeddings + metadata to one ``.npz`` (no pickle).
+
+        Returns the path actually written: NumPy appends ``.npz`` when the
+        name lacks it, and callers (the CLI) report this path, so the two
+        must agree.
+        """
+        path = str(path)
+        if not path.endswith(".npz"):
+            path += ".npz"
+        meta = {
+            "keys": self._keys,
+            "metas": self._metas,
+            "dim": self.dim,
+            "hidden_dim": self.trainer.config.hidden_dim,
+            "pair_features": self.trainer.config.pair_features,
+            "model_sha": model_fingerprint(self.trainer),
+            "tag": self.tag,
+        }
+        payload = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+        np.savez_compressed(path, embeddings=self.embeddings, **{_META_KEY: payload})
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike, trainer) -> "EmbeddingIndex":
+        """Restore an index saved by :meth:`save` for the same model shape.
+
+        Embeddings are model-specific: loading against a trainer whose
+        embedding width or ``pair_features`` differs is rejected rather
+        than silently mis-scored.
+        """
+        path = str(path)
+        if not path.endswith(".npz") and not Path(path).exists():
+            if Path(path + ".npz").exists():
+                path += ".npz"
+        with np.load(path) as archive:
+            if _META_KEY not in archive.files or "embeddings" not in archive.files:
+                raise ValueError(f"{path} is not an EmbeddingIndex archive")
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+            embeddings = archive["embeddings"].astype(np.float32)
+        # A GraphBinMatch checkpoint also carries JSON metadata; reject it
+        # (and any other stray archive) by the index schema, not a KeyError.
+        if not {"keys", "metas", "dim", "pair_features"} <= meta.keys():
+            raise ValueError(f"{path} is not an EmbeddingIndex archive")
+        if embeddings.shape != (len(meta["keys"]), meta["dim"]):
+            raise ValueError(
+                f"{path} is corrupt: {embeddings.shape} embeddings for "
+                f"{len(meta['keys'])} keys of dim {meta['dim']}"
+            )
+        index = cls(trainer)
+        if meta["dim"] != index.dim or meta["pair_features"] != trainer.config.pair_features:
+            raise ValueError(
+                f"index built for dim={meta['dim']}/"
+                f"pair_features={meta['pair_features']!r}, trainer has "
+                f"dim={index.dim}/pair_features={trainer.config.pair_features!r}"
+            )
+        want_sha = meta.get("model_sha")
+        if want_sha is not None and want_sha != model_fingerprint(trainer):
+            raise ValueError(
+                f"{path} was built by a different model (weight/tokenizer "
+                "fingerprint mismatch); rebuild the index with this checkpoint"
+            )
+        index._keys = list(meta["keys"])
+        index._metas = [dict(m) for m in meta["metas"]]
+        index.tag = meta.get("tag")
+        for key, row in zip(index._keys, embeddings):
+            index._cache.setdefault(key, row)
+        return index

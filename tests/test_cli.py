@@ -90,3 +90,79 @@ class TestTrainEvaluateRetrieve:
         assert rc == 0
         out = capsys.readouterr().out
         assert "MRR=" in out
+
+
+class TestIndexParser:
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["index", "build", "model.npz"])
+        assert args.index_command == "build"
+        assert args.output == "index.npz"
+        assert args.languages == "java"
+
+    def test_query_defaults(self):
+        args = build_parser().parse_args(["index", "query", "model.npz", "index.npz"])
+        assert args.index_command == "query"
+        assert args.top_k == 5
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["index"])
+
+
+class TestIndexCommands:
+    """Build and query an embedding index through the CLI."""
+
+    @pytest.fixture(scope="class")
+    def checkpoint(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-index") / "model.npz"
+        rc = main([
+            "train",
+            "--num-tasks", "6",
+            "--variants", "1",
+            "--epochs", "2",
+            "--output", str(path),
+        ])
+        assert rc == 0
+        return path
+
+    @pytest.fixture(scope="class")
+    def index_path(self, checkpoint, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-index") / "index.npz"
+        rc = main([
+            "index", "build", str(checkpoint),
+            "--output", str(path),
+            "--num-tasks", "6",
+            "--variants", "1",
+        ])
+        assert rc == 0
+        return path
+
+    def test_build_writes_index(self, index_path, capsys):
+        assert index_path.exists()
+
+    def test_build_reports_counts(self, checkpoint, tmp_path, capsys):
+        out_path = tmp_path / "idx.npz"
+        rc = main([
+            "index", "build", str(checkpoint),
+            "--output", str(out_path),
+            "--num-tasks", "4",
+            "--variants", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "indexed" in out
+        assert "encoded" in out
+
+    def test_query_ranks_candidates(self, checkpoint, index_path, capsys):
+        rc = main([
+            "index", "query", str(checkpoint), str(index_path),
+            "--task", "gcd",
+            "--language", "c",
+            "--top-k", "3",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "query: gcd/v0.c" in out
+        # three ranked lines with scores
+        ranked = [l for l in out.splitlines() if l.strip().startswith(("1.", "2.", "3."))]
+        assert len(ranked) == 3

@@ -1,0 +1,459 @@
+"""Tests for the embedding index: pairwise parity, caching, persistence.
+
+The contract under test is exactness — the index is an optimization, not
+an approximation: top-k order and scores from :class:`EmbeddingIndex` must
+match full pairwise ``trainer.predict`` scoring for both ``pair_features``
+modes, duplicate graphs must not re-enter the encoder, and a save/load
+round trip must preserve scores.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import cpu_config, scaled, tiny_data_config
+from repro.core.pipeline import MatcherPipeline, compile_to_views
+from repro.core.trainer import MatchTrainer
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import MatchingPair, build_pairs
+from repro.eval.retrieval import (
+    evaluate_retrieval,
+    rank_candidates,
+    retrieval_corpus_from_samples,
+)
+from repro.index import EmbeddingIndex, graph_fingerprint
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    samples = CorpusBuilder(tiny_data_config()).build(["c", "java"])
+    c = [s for s in samples if s.language == "c"]
+    j = [s for s in samples if s.language == "java"]
+    return c, j
+
+
+def _train(corpus, **overrides):
+    c, j = corpus
+    ds = build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=3)
+    cfg = scaled(
+        cpu_config(), epochs=2, hidden_dim=16, embed_dim=16, num_layers=1, **overrides
+    )
+    trainer = MatchTrainer(cfg)
+    trainer.train(ds)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def trained(corpus):
+    """Trainer with the default CPU preset (pair_features='interaction')."""
+    return _train(corpus)
+
+
+@pytest.fixture(scope="module")
+def trained_concat(corpus):
+    """Trainer exercising the plain-concat pair head."""
+    return _train(corpus, pair_features="concat")
+
+
+def _pairwise_reference(trainer, query_graph, candidate_graphs):
+    pairs = [MatchingPair(query_graph, g, 0, "?", "?") for g in candidate_graphs]
+    return trainer.predict(pairs)
+
+
+class TestFingerprint:
+    def test_name_independent(self, corpus):
+        c, _ = corpus
+        g = c[0].source_graph
+        renamed = type(g)(
+            name="other",
+            node_texts=g.node_texts,
+            node_full_texts=g.node_full_texts,
+            node_types=g.node_types,
+            edges=g.edges,
+            positions=g.positions,
+            source_language=g.source_language,
+        )
+        assert graph_fingerprint(g) == graph_fingerprint(renamed)
+
+    def test_distinct_graphs_differ(self, corpus):
+        c, j = corpus
+        assert graph_fingerprint(c[0].source_graph) != graph_fingerprint(
+            j[0].source_graph
+        )
+
+
+class TestTrainerEmbeddings:
+    def test_shapes(self, trained, corpus):
+        c, _ = corpus
+        emb = trained.encode_graphs([s.source_graph for s in c[:3]])
+        assert emb.shape == (3, 2 * trained.config.hidden_dim)
+        assert emb.dtype == np.float32
+
+    def test_empty(self, trained):
+        emb = trained.encode_graphs([])
+        assert emb.shape == (0, 2 * trained.config.hidden_dim)
+
+    def test_embed_many_alias(self, trained, corpus):
+        c, _ = corpus
+        graphs = [s.source_graph for s in c[:3]]
+        np.testing.assert_array_equal(
+            trained.encode_graphs(graphs), trained.embed_many(graphs)
+        )
+
+    def test_batch_size_invariant(self, trained, corpus):
+        """Embeddings must not depend on batch composition (eval mode)."""
+        _, j = corpus
+        graphs = [s.source_graph for s in j[:5]]
+        one = trained.encode_graphs(graphs, batch_size=1)
+        many = trained.encode_graphs(graphs, batch_size=64)
+        np.testing.assert_allclose(one, many, atol=1e-5)
+
+    @pytest.mark.parametrize("which", ["interaction", "concat"])
+    def test_score_embeddings_matches_predict(
+        self, which, trained, trained_concat, corpus
+    ):
+        trainer = trained if which == "interaction" else trained_concat
+        assert trainer.config.pair_features == which
+        c, j = corpus
+        pairs = [
+            MatchingPair(ci.decompiled_graph, ji.source_graph, 0, "?", "?")
+            for ci, ji in zip(c[:4], j[:4])
+        ]
+        left = trainer.encode_graphs([p.left for p in pairs])
+        right = trainer.encode_graphs([p.right for p in pairs])
+        np.testing.assert_allclose(
+            trainer.score_embeddings(left, right), trainer.predict(pairs), atol=1e-5
+        )
+
+    def test_shape_mismatch_rejected(self, trained):
+        with pytest.raises(ValueError):
+            trained.score_embeddings(np.zeros((2, 32)), np.zeros((3, 32)))
+
+    def test_score_pairs_tiled_chunking_invariant(self, trained, corpus):
+        """Tiny row budgets (forcing both-axis chunking) change nothing."""
+        from repro.index import score_pairs_tiled
+
+        c, j = corpus
+        q = trained.encode_graphs([s.decompiled_graph for s in c[:3]])
+        cand = trained.encode_graphs([s.source_graph for s in j[:5]])
+        full = score_pairs_tiled(trained, q, cand)
+        assert full.shape == (3, 5)
+        for budget in (1, 2, 7):
+            np.testing.assert_allclose(
+                score_pairs_tiled(trained, q, cand, row_budget=budget), full,
+                atol=1e-6,
+            )
+
+
+class TestIndexParity:
+    @pytest.mark.parametrize("which", ["interaction", "concat"])
+    def test_scores_match_pairwise(self, which, trained, trained_concat, corpus):
+        trainer = trained if which == "interaction" else trained_concat
+        c, j = corpus
+        candidates = [s.source_graph for s in j]
+        index = EmbeddingIndex(trainer)
+        index.add(candidates)
+        for sample in c[:3]:
+            got = index.scores(sample.decompiled_graph)
+            want = _pairwise_reference(trainer, sample.decompiled_graph, candidates)
+            np.testing.assert_allclose(got, want, atol=1e-5)
+
+    def test_topk_order_matches_pairwise(self, trained, corpus):
+        c, j = corpus
+        candidates = [s.source_graph for s in j]
+        index = EmbeddingIndex(trained)
+        index.add(candidates, metas=[{"id": s.identifier} for s in j])
+        query = c[0].decompiled_graph
+        want = np.argsort(
+            -_pairwise_reference(trained, query, candidates), kind="stable"
+        )
+        hits = index.topk(query, k=5)
+        assert [h.index for h in hits] == [int(i) for i in want[:5]]
+        assert hits[0].meta["id"] == j[want[0]].identifier
+
+    def test_requires_trained_model(self):
+        with pytest.raises(ValueError):
+            EmbeddingIndex(MatchTrainer(cpu_config()))
+
+    def test_query_arg_validation(self, trained, corpus):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        with pytest.raises(ValueError):
+            index.scores()
+        with pytest.raises(ValueError):
+            index.scores(j[0].source_graph, embedding=np.zeros(index.dim))
+        with pytest.raises(ValueError):
+            index.scores(embedding=np.zeros(3))
+
+
+class TestIndexCache:
+    def test_duplicate_add_hits_cache(self, trained, corpus):
+        _, j = corpus
+        graphs = [s.source_graph for s in j[:4]]
+        index = EmbeddingIndex(trained)
+        index.add(graphs)
+        assert index.cache_misses == 4 and index.cache_hits == 0
+        before = trained.model.encoder_graph_count
+        index.add(graphs)
+        assert trained.model.encoder_graph_count == before  # no re-encoding
+        assert index.cache_hits == 4
+        assert len(index) == 8  # entries still appended
+
+    def test_repeated_query_hits_cache(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:3]])
+        query = c[0].decompiled_graph
+        first = index.scores(query)
+        before = trained.model.encoder_graph_count
+        second = index.scores(query)
+        assert trained.model.encoder_graph_count == before
+        np.testing.assert_array_equal(first, second)
+
+    def test_query_then_add_promotes_without_reencoding(self, trained, corpus):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.scores(j[0].source_graph)  # seen as a query first
+        before = trained.model.encoder_graph_count
+        index.add([j[0].source_graph])
+        assert trained.model.encoder_graph_count == before
+
+    def test_query_cache_is_bounded(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained, query_cache_size=2)
+        index.add([j[0].source_graph])
+        for sample in c[:4]:
+            index.scores(sample.decompiled_graph)
+        assert len(index._query_cache) <= 2
+        assert len(index) == 1  # corpus entries unaffected
+
+    def test_query_cache_size_zero_disables_caching(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained, query_cache_size=0)
+        index.add([j[0].source_graph])
+        scores = index.scores(c[0].decompiled_graph)
+        assert scores.shape == (1,)
+        assert len(index._query_cache) == 0
+
+    def test_metas_must_align(self, trained, corpus):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        with pytest.raises(ValueError):
+            index.add([j[0].source_graph], metas=[{}, {}])
+
+
+class TestIndexPersistence:
+    def test_save_load_round_trip(self, trained, corpus, tmp_path):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add(
+            [s.source_graph for s in j], metas=[{"id": s.identifier} for s in j]
+        )
+        query = c[0].decompiled_graph
+        want = index.scores(query)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        restored = EmbeddingIndex.load(path, trained)
+        assert len(restored) == len(index)
+        np.testing.assert_allclose(restored.scores(query), want, atol=1e-6)
+        assert [h.meta for h in restored.topk(query, k=2)] == [
+            h.meta for h in index.topk(query, k=2)
+        ]
+
+    def test_loaded_entries_do_not_reencode(self, trained, corpus, tmp_path):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:3]])
+        path = tmp_path / "index.npz"
+        index.save(path)
+        restored = EmbeddingIndex.load(path, trained)
+        before = trained.model.encoder_graph_count
+        restored.add([j[0].source_graph])
+        assert trained.model.encoder_graph_count == before
+
+    def test_row_count_mismatch_rejected(self, trained, corpus, tmp_path):
+        """A truncated embeddings array fails loudly at load, not later."""
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:3]])
+        path = tmp_path / "index.npz"
+        index.save(path)
+        with np.load(path) as archive:
+            meta = archive["__meta_json__"]
+            truncated = archive["embeddings"][:2]
+        np.savez_compressed(path, embeddings=truncated, __meta_json__=meta)
+        with pytest.raises(ValueError, match="corrupt"):
+            EmbeddingIndex.load(path, trained)
+
+    def test_save_appends_npz_suffix(self, trained, corpus, tmp_path):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        written = index.save(tmp_path / "myindex")
+        assert written.endswith("myindex.npz")
+        # load resolves the suffix-less name too
+        restored = EmbeddingIndex.load(tmp_path / "myindex", trained)
+        assert len(restored) == 1
+
+    def test_tag_round_trips(self, trained, corpus, tmp_path):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        index.tag = "corpus-v1"
+        path = tmp_path / "index.npz"
+        index.save(path)
+        assert EmbeddingIndex.load(path, trained).tag == "corpus-v1"
+
+    def test_model_mismatch_rejected(self, trained, trained_concat, corpus, tmp_path):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        path = tmp_path / "index.npz"
+        index.save(path)
+        with pytest.raises(ValueError):
+            EmbeddingIndex.load(path, trained_concat)
+
+    def test_same_shape_different_weights_rejected(self, trained, corpus, tmp_path):
+        """An index is bound to the exact weights that produced it."""
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        path = tmp_path / "index.npz"
+        index.save(path)
+        other = _train(corpus, seed=99)  # same architecture, different weights
+        with pytest.raises(ValueError, match="different model"):
+            EmbeddingIndex.load(path, other)
+
+    def test_meta_mutation_does_not_corrupt_index(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph], metas=[{"id": "x"}])
+        hit = index.topk(c[0].decompiled_graph, k=1)[0]
+        hit.meta["id"] = "mutated"
+        index.metas[0]["id"] = "also mutated"
+        assert index.topk(c[0].decompiled_graph, k=1)[0].meta["id"] == "x"
+
+    def test_non_index_archive_rejected(self, trained, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez_compressed(path, a=np.zeros(3))
+        with pytest.raises(ValueError):
+            EmbeddingIndex.load(path, trained)
+
+    def test_checkpoint_and_index_not_interchangeable(
+        self, trained, corpus, tmp_path
+    ):
+        """Model checkpoints and index archives reject each other cleanly."""
+        _, j = corpus
+        ckpt = tmp_path / "model.npz"
+        trained.save(ckpt)
+        with pytest.raises(ValueError):
+            EmbeddingIndex.load(ckpt, trained)
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        idx_path = tmp_path / "index.npz"
+        index.save(idx_path)
+        with pytest.raises(ValueError):
+            MatchTrainer.load(idx_path)
+
+
+class TestRetrievalFastPath:
+    def test_rank_candidates_paths_agree(self, trained, corpus):
+        c, j = corpus
+        query = (c[0].decompiled_graph, c[0].task)
+        cands = retrieval_corpus_from_samples(j, "source")
+        fast = rank_candidates(trained, query, cands)
+        slow = rank_candidates(trained.predict, query, cands)
+        assert fast.ranked_tasks == slow.ranked_tasks
+        np.testing.assert_array_equal(fast.relevant, slow.relevant)
+
+    def test_evaluate_retrieval_paths_agree(self, trained, corpus):
+        c, j = corpus
+        queries = retrieval_corpus_from_samples(c[:3], "binary")
+        cands = retrieval_corpus_from_samples(j, "source")
+        fast = evaluate_retrieval(trained, queries, cands)
+        slow = evaluate_retrieval(trained.predict, queries, cands)
+        assert fast == slow
+
+    def test_fast_path_encodes_each_graph_once(self, trained, corpus):
+        c, j = corpus
+        queries = retrieval_corpus_from_samples(c[:3], "binary")
+        cands = retrieval_corpus_from_samples(j, "source")
+        trained.model.encoder_graph_count = 0
+        evaluate_retrieval(trained, queries, cands)
+        assert trained.model.encoder_graph_count == len(queries) + len(cands)
+
+
+class TestPipelineFastPaths:
+    def test_graph_of_source_matches_full_pipeline(self, trained, corpus):
+        c, _ = corpus
+        pipe = MatcherPipeline(trained)
+        text = c[0].source_text
+        fast = pipe.graph_of_source(text, "c")
+        full = compile_to_views(text, "c").source_graph
+        assert fast.node_full_texts == full.node_full_texts
+        assert fast.node_types == full.node_types
+        for rel in full.edges:
+            np.testing.assert_array_equal(fast.edges[rel], full.edges[rel])
+            np.testing.assert_array_equal(fast.positions[rel], full.positions[rel])
+
+    def test_rank_sources_matches_pairwise(self, trained, corpus):
+        c, j = corpus
+        pipe = MatcherPipeline(trained)
+        candidates = [(s.source_text, s.language) for s in j[:5]]
+        ranking = pipe.rank_sources(c[0].binary_bytes, candidates)
+        want = _pairwise_reference(
+            trained,
+            pipe.graph_of_binary(c[0].binary_bytes),
+            [pipe.graph_of_source(t, l) for t, l in candidates],
+        )
+        assert [i for i, _ in ranking] == [
+            int(i) for i in np.argsort(-want, kind="stable")
+        ]
+        got = np.asarray(sorted(s for _, s in ranking))
+        np.testing.assert_allclose(got, np.sort(want), atol=1e-5)
+
+    def test_prebuilt_index_reused(self, trained, corpus):
+        c, j = corpus
+        pipe = MatcherPipeline(trained)
+        candidates = [(s.source_text, s.language) for s in j[:5]]
+        index = pipe.source_index(candidates)
+        baseline = pipe.rank_sources(c[0].binary_bytes, candidates, index=index)
+        before = trained.model.encoder_graph_count
+        again = pipe.rank_sources(c[1].binary_bytes, candidates, index=index)
+        # Only the new query binary hits the encoder.
+        assert trained.model.encoder_graph_count == before + 1
+        assert sorted(i for i, _ in baseline) == sorted(i for i, _ in again)
+        with pytest.raises(ValueError):
+            pipe.rank_sources(c[0].binary_bytes, candidates[:2], index=index)
+
+    def test_foreign_trainer_index_rejected(self, trained, corpus):
+        """A prebuilt index is bound to the pipeline's own trainer."""
+        c, j = corpus
+        candidates = [(s.source_text, s.language) for s in j[:3]]
+        other = _train(corpus, seed=7)
+        foreign = MatcherPipeline(other).source_index(candidates)
+        pipe = MatcherPipeline(trained)
+        with pytest.raises(ValueError, match="different trainer"):
+            pipe.rank_sources(c[0].binary_bytes, candidates, index=foreign)
+
+    def test_mismatched_candidates_rejected(self, trained, corpus):
+        """Same-length but different candidate list must not mis-rank."""
+        c, j = corpus
+        pipe = MatcherPipeline(trained)
+        candidates = [(s.source_text, s.language) for s in j[:4]]
+        other = [(s.source_text, s.language) for s in j[4:8]]
+        index = pipe.source_index(candidates)
+        with pytest.raises(ValueError):
+            pipe.rank_sources(c[0].binary_bytes, other, index=index)
+
+    def test_tagless_index_rejected(self, trained, corpus):
+        """Hand-built indexes (no candidate tag) are refused, not trusted."""
+        from repro.index import EmbeddingIndex
+
+        c, j = corpus
+        pipe = MatcherPipeline(trained)
+        candidates = [(s.source_text, s.language) for s in j[:3]]
+        bare = EmbeddingIndex(trained)
+        bare.add([pipe.graph_of_source(t, l) for t, l in candidates])
+        with pytest.raises(ValueError, match="source_index"):
+            pipe.rank_sources(c[0].binary_bytes, candidates, index=bare)
