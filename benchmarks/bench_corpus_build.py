@@ -1,0 +1,96 @@
+"""Corpus-build throughput — cold vs. warm vs. parallel (north star).
+
+Every paper table rebuilds corpora; ``bench_table5_opt_levels.py`` alone
+rebuilds the same one per (opt level, compiler) condition, and before the
+artifact store each bench *process* paid the full compilation chain again.
+This bench measures the staged pipeline + content-addressed store:
+
+* **cold** — every stage runs, results persisted to a fresh store;
+* **warm** — the identical build served entirely from the store;
+* **parallel** — cold build fanned over a multiprocessing pool.
+
+Asserted shape: warm ≥ 5× faster than cold, and serial / warm / parallel
+builders produce byte-identical sample graphs (fingerprint equality),
+since they share one pipeline implementation.  Per-stage wall clock is
+printed from the pipeline's timer.
+"""
+
+import time
+
+from repro.config import DataConfig
+from repro.data.corpus import CorpusBuilder
+from repro.index import graph_fingerprint
+from repro.utils.tables import Table
+
+from benchmarks.common import BENCH_SEED, run_once
+
+TASKS = 12
+VARIANTS = 2
+LANGS = ["cpp", "java"]
+
+
+def _cfg(tmp_path, name):
+    return DataConfig(
+        num_tasks=TASKS,
+        variants=VARIANTS,
+        seed=BENCH_SEED,
+        artifact_dir=str(tmp_path / name),
+    )
+
+
+def _fingerprints(samples):
+    return [
+        (s.identifier, graph_fingerprint(s.source_graph), graph_fingerprint(s.decompiled_graph))
+        for s in samples
+    ]
+
+
+def test_corpus_build_cold_warm_parallel(benchmark, tmp_path):
+    # --- cold: every stage runs, store is empty -------------------------
+    cold_builder = CorpusBuilder(_cfg(tmp_path, "store"))
+    t0 = time.perf_counter()
+    cold = run_once(benchmark, lambda: cold_builder.build(LANGS))
+    t_cold = time.perf_counter() - t0
+
+    # --- warm: same coordinates, fresh process-equivalent builder -------
+    warm_builder = CorpusBuilder(_cfg(tmp_path, "store"))
+    t0 = time.perf_counter()
+    warm = warm_builder.build(LANGS)
+    t_warm = time.perf_counter() - t0
+
+    # --- parallel: cold build through the worker pool -------------------
+    par_builder = CorpusBuilder(_cfg(tmp_path, "store-par"))
+    t0 = time.perf_counter()
+    par = par_builder.build_parallel(LANGS, workers=2)
+    t_par = time.perf_counter() - t0
+
+    # --- serial baseline without any store ------------------------------
+    base = CorpusBuilder(
+        DataConfig(num_tasks=TASKS, variants=VARIANTS, seed=BENCH_SEED)
+    ).build(LANGS)
+
+    table = Table(
+        "Corpus build: staged pipeline + artifact store",
+        ["Mode", "Wall clock (s)", "Samples", "vs cold"],
+    )
+    table.add_row("cold (store miss)", f"{t_cold:.3f}", len(cold), "1.0x")
+    table.add_row("warm (store hit)", f"{t_warm:.3f}", len(warm), f"{t_cold / t_warm:.1f}x")
+    table.add_row("parallel x2 (cold)", f"{t_par:.3f}", len(par), f"{t_cold / t_par:.1f}x")
+    print()
+    print(table.render())
+    print("\ncold per-stage wall clock:")
+    print(cold_builder.timer.report())
+    print("\nwarm per-stage wall clock:")
+    print(warm_builder.timer.report())
+
+    # One pipeline implementation → byte-identical graphs in every mode.
+    want = _fingerprints(cold)
+    assert _fingerprints(warm) == want
+    assert _fingerprints(par) == want
+    assert _fingerprints(base) == want
+    assert [s.binary_bytes for s in warm] == [s.binary_bytes for s in cold]
+    assert [s.binary_bytes for s in par] == [s.binary_bytes for s in cold]
+    assert warm_builder.store.hits == len(warm)
+
+    # The north-star claim: warm corpus builds are effectively free.
+    assert t_cold / t_warm >= 5.0, f"warm speedup only {t_cold / t_warm:.1f}x"

@@ -18,7 +18,9 @@ Protocol notes (documented in EXPERIMENTS.md):
 
 from __future__ import annotations
 
+import os
 from functools import lru_cache
+from pathlib import Path
 from typing import Tuple
 
 from repro.config import DataConfig, cpu_config, scaled
@@ -40,6 +42,15 @@ SINGLE_TASKS = 12
 VARIANTS = 2
 MAX_PAIRS = 4
 
+# Compilation artifacts persist across bench *processes*: every bench (and
+# every sweep condition) that rebuilds the same (task, variant, language,
+# opt, compiler) coordinates loads it from here instead of re-running the
+# pipeline.  Override the location with REPRO_ARTIFACT_CACHE; set it empty
+# to disable caching entirely.
+ARTIFACT_CACHE = os.environ.get(
+    "REPRO_ARTIFACT_CACHE", str(Path(__file__).resolve().parent / ".artifact_cache")
+)
+
 
 def bench_model_config(**overrides):
     """The scaled GraphBinMatch config the benches train."""
@@ -48,7 +59,8 @@ def bench_model_config(**overrides):
 
 
 def bench_data_cfg(num_tasks: int = CROSS_TASKS, variants: int = VARIANTS, **kw) -> DataConfig:
-    """The scaled corpus config."""
+    """The scaled corpus config (corpus builds hit the shared artifact cache)."""
+    kw.setdefault("artifact_dir", ARTIFACT_CACHE or None)
     return DataConfig(
         num_tasks=num_tasks,
         variants=variants,

@@ -18,4 +18,13 @@ python -m repro train --num-tasks 6 --variants 1 --epochs 2 --output "$tmp/model
 python -m repro index build "$tmp/model.npz" --output "$tmp/index.npz" --num-tasks 6 --variants 1
 python -m repro index query "$tmp/model.npz" "$tmp/index.npz" --task gcd --language c --top-k 3
 
+echo "== smoke: corpus build cold -> warm artifact cache =="
+python -m repro corpus build --num-tasks 4 --variants 1 --languages c,java --store "$tmp/artifacts"
+warm_out="$(python -m repro corpus build --num-tasks 4 --variants 1 --languages c,java --store "$tmp/artifacts")"
+echo "$warm_out"
+if ! grep -q ", 0 misses" <<<"$warm_out"; then
+  echo "verify: FAIL — warm corpus rebuild did not hit the artifact store" >&2
+  exit 1
+fi
+
 echo "verify: OK"

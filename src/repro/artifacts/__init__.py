@@ -1,0 +1,5 @@
+"""``repro.artifacts`` — content-addressed persistence for pipeline outputs."""
+
+from repro.artifacts.store import ArtifactKey, ArtifactStore, source_text_id
+
+__all__ = ["ArtifactKey", "ArtifactStore", "source_text_id"]

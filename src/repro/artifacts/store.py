@@ -1,0 +1,221 @@
+"""Content-addressed on-disk store for compilation artifacts.
+
+Corpus builds and benchmark sweeps re-run the identical deterministic
+pipeline for the same (task, variant, language, opt level, compiler)
+coordinates in every process — the compilation cost dominates cold corpus
+construction.  The store persists everything a completed
+:class:`~repro.pipeline.CompilationResult` carries downstream — source
+text, both IR modules (via :mod:`repro.ir.serialize`), binary bytes, and
+both program graphs (via :mod:`repro.graphs.serialize`) — in one
+pickle-free ``.npz`` per entry, addressed by a SHA-256 digest over the
+:class:`ArtifactKey` fields *including the pipeline version fingerprint*:
+change any stage and every old entry silently misses instead of serving
+stale graphs.
+
+Entries are written atomically (temp file + ``os.replace``), so parallel
+corpus builders can share one store without locks; unreadable or
+mismatched entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.graphs.serialize import graph_from_arrays, graph_to_arrays
+from repro.ir.serialize import LazyModule, module_to_dict
+from repro.pipeline.staged import PIPELINE_VERSION, CompilationResult
+
+PathLike = Union[str, Path]
+
+_META_KEY = "__meta_json__"
+
+
+def _json_payload(data: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(data).encode("utf-8"), dtype=np.uint8)
+
+
+def source_text_id(text: str) -> str:
+    """Key field for ad-hoc compiles: a content hash of the source text."""
+    return "sha:" + hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """The coordinates that fully determine one pipeline run.
+
+    ``source_id`` identifies the source *content* — either a text hash
+    (:func:`source_text_id`) or the corpus generator's ``gen:<seed>:...``
+    spec, whose determinism makes the text derivable.  ``version`` pins
+    the pipeline implementation; every field participates in the digest.
+    """
+
+    task: str
+    variant: int
+    language: str
+    opt_level: str
+    compiler: str
+    source_id: str
+    version: str = PIPELINE_VERSION
+
+    @property
+    def digest(self) -> str:
+        """Content address: SHA-256 over every key field."""
+        payload = "\x1f".join(
+            [
+                self.task,
+                str(self.variant),
+                self.language,
+                self.opt_level,
+                self.compiler,
+                self.source_id,
+                self.version,
+            ]
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ArtifactStore:
+    """Directory of content-addressed compilation artifacts.
+
+    ``get``/``put`` speak :class:`CompilationResult`; ``hits``/``misses``
+    count lookups for reporting (the ``corpus`` CLI and the corpus-build
+    bench print them).
+    """
+
+    def __init__(self, root: PathLike):  # noqa: D107
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- layout
+    def path_for(self, key: ArtifactKey) -> Path:
+        """Entry path: two-hex-char shard directory + full digest."""
+        digest = key.digest
+        return self.root / digest[:2] / (digest + ".npz")
+
+    def __contains__(self, key: ArtifactKey) -> bool:
+        """True when an entry exists on disk (no validation, no counters)."""
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        """Number of stored entries."""
+        return sum(1 for _ in self.root.glob("*/*.npz"))
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        return sum(p.stat().st_size for p in self.root.glob("*/*.npz"))
+
+    # -------------------------------------------------------------- write
+    def put(self, key: ArtifactKey, result: CompilationResult) -> Path:
+        """Persist a complete result; atomic, safe under concurrent writers."""
+        if not result.complete:
+            raise ValueError(
+                f"refusing to store incomplete result for {result.name!r} "
+                f"(stages: {result.stages_completed})"
+            )
+        meta = {
+            "key": asdict(key),
+            "name": result.name,
+            "language": result.language,
+            "opt_level": result.opt_level,
+            "compiler": result.compiler,
+            "source_text": result.source_text,
+            "stages_completed": list(result.stages_completed),
+            # (name, source_language) pairs so lazy modules can exist
+            # without parsing their payloads.
+            "source_module_head": [
+                result.source_module.name,
+                result.source_module.source_language,
+            ],
+            "decompiled_module_head": [
+                result.decompiled_module.name,
+                result.decompiled_module.source_language,
+            ],
+        }
+        arrays = {
+            _META_KEY: np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            "binary": np.frombuffer(result.binary_bytes, dtype=np.uint8),
+            # Module payloads live outside the hot meta JSON: warm loads
+            # construct LazyModules and never parse these unless asked.
+            "source_module": _json_payload(module_to_dict(result.source_module)),
+            "decompiled_module": _json_payload(module_to_dict(result.decompiled_module)),
+        }
+        arrays.update(graph_to_arrays(result.source_graph, prefix="sg."))
+        arrays.update(graph_to_arrays(result.decompiled_graph, prefix="dg."))
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                # Uncompressed on purpose: entries are small and the store's
+                # whole point is load speed; zip-deflate made warm loads the
+                # bottleneck.
+                np.savez(handle, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    # --------------------------------------------------------------- read
+    def get(self, key: ArtifactKey) -> Optional[CompilationResult]:
+        """Load an entry, or ``None`` on any miss (absent, corrupt, stale)."""
+        path = self.path_for(key)
+        try:
+            with np.load(str(path)) as archive:
+                meta = json.loads(
+                    bytes(np.asarray(archive[_META_KEY]).tobytes()).decode("utf-8")
+                )
+                if meta.get("key") != asdict(key):
+                    self.misses += 1
+                    return None
+                src_head = meta["source_module_head"]
+                dec_head = meta["decompiled_module_head"]
+                result = CompilationResult(
+                    name=meta["name"],
+                    language=meta["language"],
+                    opt_level=meta["opt_level"],
+                    compiler=meta["compiler"],
+                    source_text=meta["source_text"],
+                    stages_completed=list(meta["stages_completed"]),
+                    source_module=LazyModule(
+                        src_head[0], src_head[1],
+                        np.asarray(archive["source_module"]).tobytes(),
+                    ),
+                    decompiled_module=LazyModule(
+                        dec_head[0], dec_head[1],
+                        np.asarray(archive["decompiled_module"]).tobytes(),
+                    ),
+                    binary_bytes=bytes(np.asarray(archive["binary"], dtype=np.uint8).tobytes()),
+                    source_graph=graph_from_arrays(archive, prefix="sg."),
+                    decompiled_graph=graph_from_arrays(archive, prefix="dg."),
+                    from_cache=True,
+                )
+        except Exception:  # noqa: BLE001 - cache read: any unreadable entry
+            # (absent file, truncated zip, bad JSON, schema drift) is a
+            # miss by contract, never an error surfaced to the build.
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    # ---------------------------------------------------------- reporting
+    def stats(self) -> dict:
+        """Counters + on-disk footprint for status displays."""
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "bytes": self.size_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -10,6 +10,10 @@ Commands
 ``index``      Embedding-index retrieval: ``index build`` encodes a source
                corpus once into an ``.npz`` index; ``index query`` ranks
                the indexed sources for a binary query via the pair head.
+``corpus``     Staged compilation pipeline: ``corpus build`` compiles a
+               corpus (optionally into a content-addressed artifact store,
+               optionally in parallel) and reports Table-I stats plus
+               per-stage timing; ``corpus stats`` prints store contents.
 ``tasks``      List the task templates the generator knows.
 
 Everything is deterministic given ``--seed``; commands print the exact
@@ -82,6 +86,23 @@ def build_parser() -> argparse.ArgumentParser:
     iq.add_argument("--variant", type=int, default=0)
     iq.add_argument("--seed", type=int, default=0)
     iq.add_argument("--top-k", type=int, default=5)
+
+    c = sub.add_parser("corpus", help="build / inspect compiled corpora")
+    csub = c.add_subparsers(dest="corpus_command", required=True)
+    cb = csub.add_parser("build", help="run the staged pipeline over a corpus")
+    cb.add_argument("--languages", default="c,java", help="comma list")
+    cb.add_argument("--num-tasks", type=int, default=8)
+    cb.add_argument("--variants", type=int, default=2)
+    cb.add_argument("--seed", type=int, default=0)
+    cb.add_argument("--opt-level", default="Oz",
+                    choices=("O0", "O1", "O2", "O3", "Oz"))
+    cb.add_argument("--compiler", default="clang", choices=("clang", "gcc"))
+    cb.add_argument("--store", default=None, metavar="DIR",
+                    help="artifact store root; repeat builds load from it")
+    cb.add_argument("--parallel", type=int, default=0, metavar="N",
+                    help="compile cold samples with N worker processes")
+    cs = csub.add_parser("stats", help="show an artifact store's contents")
+    cs.add_argument("store", metavar="DIR", help="artifact store root")
 
     sub.add_parser("tasks", help="list available task templates")
     return p
@@ -245,6 +266,71 @@ def cmd_index_query(args) -> int:
     return 0
 
 
+def cmd_corpus(args) -> int:
+    """Dispatch ``corpus build`` / ``corpus stats``."""
+    return _CORPUS_COMMANDS[args.corpus_command](args)
+
+
+def cmd_corpus_build(args) -> int:
+    """Run the staged pipeline over a generated corpus and report stats."""
+    from repro.artifacts import ArtifactStore
+    from repro.config import DataConfig
+    from repro.data.corpus import CorpusBuilder, corpus_statistics
+
+    languages = args.languages.split(",")
+    cfg = DataConfig(
+        num_tasks=args.num_tasks,
+        variants=args.variants,
+        seed=args.seed,
+        opt_level=args.opt_level,
+        compiler=args.compiler,
+    )
+    store = ArtifactStore(args.store) if args.store else None
+    builder = CorpusBuilder(cfg, store=store)
+    print(
+        f"corpus: tasks={args.num_tasks} variants={args.variants} "
+        f"languages={','.join(languages)} opt={args.opt_level} "
+        f"compiler={args.compiler} seed={args.seed}"
+    )
+    t0 = time.time()
+    if args.parallel > 1:
+        samples = builder.build_parallel(languages, workers=args.parallel)
+        mode = f"parallel x{args.parallel}"
+    else:
+        samples = builder.build(languages)
+        mode = "serial"
+    elapsed = time.time() - t0
+    print(f"built {len(samples)} samples in {elapsed:.2f}s ({mode})")
+    print("\nTable-I statistics (per language):")
+    print(f"{'lang':<6} {'sources':>8} {'llvm_ir':>8} {'binaries':>9} {'decompiled':>11}")
+    for lang, st in sorted(corpus_statistics(builder).items()):
+        print(
+            f"{lang:<6} {st['sources']:>8} {st['llvm_ir']:>8} "
+            f"{st['binaries']:>9} {st['decompiled']:>11}"
+        )
+    if store is not None:
+        s = store.stats()
+        print(
+            f"\nartifact store: {s['hits']} hits, {s['misses']} misses, "
+            f"{s['entries']} entries, {s['bytes'] / 1024:.0f} KiB at {s['root']}"
+        )
+    print("\nper-stage wall clock:")
+    print(builder.timer.report())
+    return 0
+
+
+def cmd_corpus_stats(args) -> int:
+    """Print an artifact store's footprint."""
+    from repro.artifacts import ArtifactStore
+
+    store = ArtifactStore(args.store)
+    s = store.stats()
+    print(f"artifact store at {s['root']}")
+    print(f"entries: {s['entries']}")
+    print(f"size:    {s['bytes'] / 1024:.0f} KiB")
+    return 0
+
+
 def cmd_tasks(_args) -> int:
     """List task templates."""
     from repro.lang.tasks import TASK_REGISTRY
@@ -260,12 +346,18 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "retrieve": cmd_retrieve,
     "index": cmd_index,
+    "corpus": cmd_corpus,
     "tasks": cmd_tasks,
 }
 
 _INDEX_COMMANDS = {
     "build": cmd_index_build,
     "query": cmd_index_query,
+}
+
+_CORPUS_COMMANDS = {
+    "build": cmd_corpus_build,
+    "stats": cmd_corpus_stats,
 }
 
 

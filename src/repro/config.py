@@ -10,6 +10,7 @@ is what the relative comparisons in the tables depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,9 @@ class DataConfig:
     # model retrieval-flavoured deployments where non-matches dominate
     # (used by the stress tests and the retrieval example).
     eval_neg_ratio: float = 1.0
+    # Root directory of a content-addressed artifact store shared across
+    # processes; None disables persistence and every build compiles cold.
+    artifact_dir: Optional[str] = None
 
 
 def paper_config() -> ModelConfig:

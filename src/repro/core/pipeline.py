@@ -3,8 +3,9 @@
 ``MatcherPipeline`` is what a downstream user touches: give it a trained
 :class:`~repro.core.trainer.MatchTrainer` and it scores raw inputs —
 source text in any supported language against binary bytes — running the
-whole stack (front-end → IR → graph on the source side; disassemble →
-decompile → graph on the binary side).
+whole stack through the shared staged
+:class:`~repro.pipeline.CompilationPipeline` (front-end → IR → graph on
+the source side; disassemble → decompile → graph on the binary side).
 """
 
 from __future__ import annotations
@@ -15,27 +16,12 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.binary.codegen import compile_module
-from repro.binary.decompiler import decompile_bytes
+from repro.artifacts import ArtifactKey, source_text_id
 from repro.core.trainer import MatchTrainer
 from repro.data.pairs import MatchingPair
-from repro.graphs.programl import ProgramGraph, build_graph
-from repro.index import EmbeddingIndex
-from repro.ir.lowering import lower_program
-from repro.ir.passes import optimize
-from repro.lang.minic import parse_minic
-from repro.lang.minicpp import parse_minicpp
-from repro.lang.minijava import parse_minijava
-
-_PARSERS = {"c": parse_minic, "cpp": parse_minicpp, "java": parse_minijava}
-
-
-def _parse(source_text: str, language: str):
-    if language not in _PARSERS:
-        raise ValueError(f"unsupported language {language!r}")
-    program = _PARSERS[language](source_text)
-    program.language = language
-    return program
+from repro.graphs.programl import ProgramGraph
+from repro.index import EmbeddingIndex, model_fingerprint
+from repro.pipeline import CompilationPipeline
 
 
 def source_graph_of(source_text: str, language: str, name: str = "unit") -> ProgramGraph:
@@ -45,8 +31,7 @@ def source_graph_of(source_text: str, language: str, name: str = "unit") -> Prog
     only the source graph must not pay for codegen + decompilation of a
     binary that is immediately discarded.
     """
-    program = _parse(source_text, language)
-    return build_graph(lower_program(program, name=name), name=name)
+    return CompilationPipeline().source_graph(source_text, language, name=name)
 
 
 @dataclass
@@ -64,16 +49,26 @@ def compile_to_views(
     opt_level: str = "Oz",
     compiler: str = "clang",
     name: str = "unit",
+    store=None,
 ) -> CompiledViews:
-    """Run the full pipeline on one source file."""
-    program = _parse(source_text, language)
-    src_mod = lower_program(program, name=name)
-    src_graph = build_graph(src_mod, name=name)
-    bin_mod = lower_program(program, name=name + ".bin")
-    optimize(bin_mod, opt_level)
-    raw = compile_module(bin_mod, style=compiler).encode()
-    dec_graph = build_graph(decompile_bytes(raw, name + ".dec"), name=name + ".dec")
-    return CompiledViews(src_graph, raw, dec_graph)
+    """Run the full staged pipeline on one source file.
+
+    ``store`` optionally names an :class:`~repro.artifacts.ArtifactStore`;
+    repeat compilations of the same text under the same conditions then
+    load from disk instead of re-running every stage.
+    """
+    pipeline = CompilationPipeline(store=store)
+    key = None
+    if store is not None:
+        key = ArtifactKey(
+            task="", variant=-1, language=language, opt_level=opt_level,
+            compiler=compiler, source_id=source_text_id(source_text),
+        )
+    result = pipeline.compile(
+        source_text, language, name=name, opt_level=opt_level,
+        compiler=compiler, cache_key=key,
+    )
+    return CompiledViews(result.source_graph, result.binary_bytes, result.decompiled_graph)
 
 
 class MatcherPipeline:
@@ -83,14 +78,18 @@ class MatcherPipeline:
         if trainer.model is None:
             raise ValueError("trainer has no trained model")
         self.trainer = trainer
+        self.compiler = CompilationPipeline()
+        # Trainers whose weight fingerprint already matched ours; hashing
+        # every weight tensor is too expensive to repeat per query.
+        self._trusted_trainer_ids: set = set()
 
     def graph_of_source(self, text: str, language: str) -> ProgramGraph:
         """Source text → source-IR program graph (source-only fast path)."""
-        return source_graph_of(text, language)
+        return self.compiler.source_graph(text, language)
 
     def graph_of_binary(self, raw: bytes, name: str = "binary") -> ProgramGraph:
         """Binary bytes → decompiled-IR program graph."""
-        return build_graph(decompile_bytes(raw, name), name=name)
+        return self.compiler.binary_graph(raw, name=name)
 
     def score_graphs(self, left: ProgramGraph, right: ProgramGraph) -> float:
         """Matching probability for one (binary-graph, source-graph) pair."""
@@ -153,11 +152,21 @@ class MatcherPipeline:
         if index is None:
             index = self.source_index(candidates)
         else:
-            if index.trainer is not self.trainer:
-                raise ValueError(
-                    "index was built by a different trainer; rebuild with "
-                    "this pipeline's source_index()"
-                )
+            # Same trainer object is trivially compatible; otherwise compare
+            # weight + tokenizer fingerprints (memoized after the first
+            # match), so an index built by a saved-then-reloaded checkpoint
+            # of this model stays usable.
+            if (
+                index.trainer is not self.trainer
+                and id(index.trainer) not in self._trusted_trainer_ids
+            ):
+                if model_fingerprint(index.trainer) != model_fingerprint(self.trainer):
+                    raise ValueError(
+                        "index was built by a different model (weight/tokenizer "
+                        "fingerprint mismatch); rebuild with this pipeline's "
+                        "source_index()"
+                    )
+                self._trusted_trainer_ids.add(id(index.trainer))
             if len(index) != len(candidates):
                 raise ValueError(
                     f"index has {len(index)} entries for {len(candidates)} candidates"

@@ -2,6 +2,12 @@
 
 from repro.graphs.batch import GraphBatch, batch_graphs
 from repro.graphs.programl import CALL, CONTROL, DATA, ProgramGraph, build_graph
+from repro.graphs.serialize import (
+    graph_from_arrays,
+    graph_to_arrays,
+    load_graph,
+    save_graph,
+)
 
 __all__ = [
     "ProgramGraph",
@@ -11,4 +17,8 @@ __all__ = [
     "CALL",
     "GraphBatch",
     "batch_graphs",
+    "graph_to_arrays",
+    "graph_from_arrays",
+    "save_graph",
+    "load_graph",
 ]

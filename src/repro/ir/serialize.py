@@ -1,0 +1,196 @@
+"""IR module ⇄ JSON-safe dict (de)serialization.
+
+The artifact store persists the IR modules a compilation produced so warm
+corpus rebuilds skip the front-end, the optimizer and the decompiler
+entirely.  The format is a plain JSON-safe dict — no pickle — mirroring
+the object model one level at a time: operands are encoded as references
+(constant value, argument index, or instruction index within the
+function), branch targets as block indices.  Round-trips are exact: the
+printer renders the restored module to the same text, and the graph
+builder produces a fingerprint-identical :class:`ProgramGraph`.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from repro.ir.module import (
+    Argument,
+    BasicBlock,
+    Constant,
+    Function,
+    Instruction,
+    Module,
+    Value,
+)
+from repro.ir.types import LABEL, VOID, IntType, IRType, PtrType
+
+FORMAT_VERSION = 1
+
+
+@lru_cache(maxsize=None)
+def type_from_str(spec: str) -> IRType:
+    """Parse the printer's type spelling (``i32``, ``i64*``, ``void``).
+
+    Cached: types are interned value objects and a corpus-sized decode
+    calls this tens of thousands of times with a handful of spellings.
+    """
+    depth = len(spec) - len(spec.rstrip("*"))
+    base = spec[: len(spec) - depth] if depth else spec
+    if base == "void":
+        t: IRType = VOID
+    elif base == "label":
+        t = LABEL
+    elif base.startswith("i") and base[1:].isdigit():
+        t = IntType(int(base[1:]))
+    else:
+        raise ValueError(f"unknown IR type spelling {spec!r}")
+    for _ in range(depth):
+        t = PtrType(t)
+    return t
+
+
+def _operand_ref(op: Value, instr_index: Dict[int, int], arg_index: Dict[int, int]) -> list:
+    if isinstance(op, Constant):
+        return ["c", op.value, str(op.type)]
+    if isinstance(op, Argument):
+        return ["a", arg_index[id(op)]]
+    if isinstance(op, Instruction):
+        return ["i", instr_index[id(op)]]
+    raise TypeError(f"cannot serialize operand {op!r}")
+
+
+def _function_to_dict(fn: Function) -> dict:
+    out = {
+        "name": fn.name,
+        "return_type": str(fn.return_type),
+        "args": [[a.name, str(a.type)] for a in fn.args],
+        "is_declaration": fn.is_declaration,
+        "label_counter": fn._label_counter,
+        "blocks": [],
+    }
+    if fn.is_declaration:
+        return out
+    instr_index: Dict[int, int] = {}
+    block_index: Dict[int, int] = {}
+    arg_index = {id(a): i for i, a in enumerate(fn.args)}
+    for b, blk in enumerate(fn.blocks):
+        block_index[id(blk)] = b
+        for instr in blk.instructions:
+            instr_index[id(instr)] = len(instr_index)
+    for blk in fn.blocks:
+        instrs = []
+        for instr in blk.instructions:
+            instrs.append(
+                {
+                    "op": instr.opcode,
+                    "type": str(instr.type),
+                    "operands": [
+                        _operand_ref(op, instr_index, arg_index) for op in instr.operands
+                    ],
+                    "blocks": [block_index[id(t)] for t in instr.blocks],
+                    "extra": dict(instr.extra),
+                }
+            )
+        out["blocks"].append({"label": blk.label, "instructions": instrs})
+    return out
+
+
+def module_to_dict(module: Module) -> dict:
+    """Encode a module as a JSON-safe dict (no pickle, no shared state)."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": module.name,
+        "source_language": module.source_language,
+        "functions": [_function_to_dict(fn) for fn in module.functions],
+    }
+
+
+def _function_from_dict(data: dict) -> Function:
+    fn = Function(
+        data["name"],
+        [type_from_str(t) for _, t in data["args"]],
+        [n for n, _ in data["args"]],
+        type_from_str(data["return_type"]),
+        is_declaration=data["is_declaration"],
+    )
+    fn._label_counter = data["label_counter"]
+    if fn.is_declaration:
+        return fn
+    blocks = [BasicBlock(bd["label"]) for bd in data["blocks"]]
+    for blk in blocks:
+        blk.parent = fn
+    fn.blocks = blocks
+    # Two passes: instruction shells first (phis and back edges may reference
+    # instructions and blocks that appear later), then operands and targets.
+    shells: List[Instruction] = []
+    for bd in data["blocks"]:
+        for idata in bd["instructions"]:
+            shells.append(
+                Instruction(
+                    idata["op"],
+                    type=type_from_str(idata["type"]),
+                    extra=dict(idata["extra"]),
+                )
+            )
+    cursor = 0
+    for blk, bd in zip(blocks, data["blocks"]):
+        for idata in bd["instructions"]:
+            instr = shells[cursor]
+            cursor += 1
+            for ref in idata["operands"]:
+                kind = ref[0]
+                if kind == "c":
+                    instr.operands.append(Constant(ref[1], type_from_str(ref[2])))
+                elif kind == "a":
+                    instr.operands.append(fn.args[ref[1]])
+                else:
+                    instr.operands.append(shells[ref[1]])
+            instr.blocks = [blocks[b] for b in idata["blocks"]]
+            blk.append(instr)
+    return fn
+
+
+def module_from_dict(data: dict) -> Module:
+    """Rebuild a module encoded by :func:`module_to_dict`."""
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported IR serialization format {data.get('format')!r}")
+    module = Module(data["name"], source_language=data["source_language"])
+    for fd in data["functions"]:
+        module.add(_function_from_dict(fd))
+    return module
+
+
+class LazyModule(Module):
+    """A module that defers decoding its function bodies until first use.
+
+    The artifact store hands these out on warm loads: most consumers only
+    ever read a sample's *graphs*, so paying the (dominant) module decode
+    cost eagerly would cap the warm-build speedup.  The payload is the
+    serialized JSON bytes of a :func:`module_to_dict` encoding; name and
+    source language are known without parsing it.
+    """
+
+    def __init__(self, name: str, source_language: str, payload: bytes):  # noqa: D107
+        self._pending: Optional[bytes] = None
+        super().__init__(name, source_language=source_language)
+        self._pending = payload
+
+    @property
+    def functions(self) -> List[Function]:  # type: ignore[override]
+        """Function list, decoding the payload on first access."""
+        if self._pending is not None:
+            pending, self._pending = self._pending, None
+            data = json.loads(pending.decode("utf-8"))
+            if data.get("format") != FORMAT_VERSION:
+                raise ValueError(
+                    f"unsupported IR serialization format {data.get('format')!r}"
+                )
+            self._functions = [_function_from_dict(fd) for fd in data["functions"]]
+        return self._functions
+
+    @functions.setter
+    def functions(self, value: List[Function]) -> None:
+        self._functions = value

@@ -1,0 +1,32 @@
+"""``repro.pipeline`` — the staged compilation pipeline (single source of truth
+for the source → IR → binary → decompiled-IR → graph chain)."""
+
+from repro.pipeline.staged import (
+    FRONTENDS,
+    PIPELINE_VERSION,
+    STAGE_CODEGEN,
+    STAGE_DECOMPILE,
+    STAGE_GRAPH,
+    STAGE_LOWER,
+    STAGE_OPTIMIZE,
+    STAGE_PARSE,
+    STAGES,
+    CompilationPipeline,
+    CompilationResult,
+    StageFailure,
+)
+
+__all__ = [
+    "CompilationPipeline",
+    "CompilationResult",
+    "StageFailure",
+    "PIPELINE_VERSION",
+    "STAGES",
+    "STAGE_PARSE",
+    "STAGE_LOWER",
+    "STAGE_OPTIMIZE",
+    "STAGE_CODEGEN",
+    "STAGE_DECOMPILE",
+    "STAGE_GRAPH",
+    "FRONTENDS",
+]

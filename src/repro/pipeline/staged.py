@@ -1,0 +1,272 @@
+"""The staged compilation pipeline: one implementation of §III's Table-I chain.
+
+Every consumer of the paper's data pipeline — the corpus builder, the
+user-facing :class:`~repro.core.pipeline.MatcherPipeline`, the CLI, the
+benchmark harness — used to hand-roll the same six steps.  This module is
+now the single owner of that chain, decomposed into named stages:
+
+    parse → lower → optimize → codegen → decompile → graph
+
+Each stage is individually timed (per-compile in
+:attr:`CompilationResult.stage_seconds`, cumulatively in the pipeline's
+:class:`~repro.utils.timing.Timer`), and a failing stage raises
+:class:`StageFailure` carrying the partial result — so callers can report
+exactly which artifacts exist instead of assuming all-or-nothing.
+
+When constructed with an artifact ``store`` (see :mod:`repro.artifacts`),
+:meth:`CompilationPipeline.compile` consults it before running any stage
+and persists complete results after, making repeat compilations across
+processes near-free.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.binary.codegen import compile_module
+from repro.binary.decompiler import decompile_bytes
+from repro.graphs.programl import ProgramGraph, build_graph
+from repro.ir.lowering import lower_program
+from repro.ir.module import Module
+from repro.ir.passes import optimize
+from repro.lang.minic import parse_minic
+from repro.lang.minicpp import parse_minicpp
+from repro.lang.minijava import parse_minijava
+from repro.utils.timing import Timer
+
+#: Bump when any stage's observable output changes; part of every artifact
+#: key, so stale cache entries from an older pipeline never hit.
+PIPELINE_VERSION = "staged-1"
+
+STAGE_PARSE = "parse"
+STAGE_LOWER = "lower"
+STAGE_OPTIMIZE = "optimize"
+STAGE_CODEGEN = "codegen"
+STAGE_DECOMPILE = "decompile"
+STAGE_GRAPH = "graph"
+STAGES = (
+    STAGE_PARSE,
+    STAGE_LOWER,
+    STAGE_OPTIMIZE,
+    STAGE_CODEGEN,
+    STAGE_DECOMPILE,
+    STAGE_GRAPH,
+)
+
+FRONTENDS = {"c": parse_minic, "cpp": parse_minicpp, "java": parse_minijava}
+
+
+@dataclass
+class CompilationResult:
+    """Everything one trip through the pipeline produced.
+
+    Field presence tracks :attr:`stages_completed`: a result rescued from a
+    :class:`StageFailure` only populates the fields its completed stages
+    own.  ``from_cache`` marks artifact-store hits, whose only recorded
+    span is ``store.load``.
+    """
+
+    name: str
+    language: str
+    opt_level: str
+    compiler: str
+    source_text: str
+    stages_completed: List[str] = field(default_factory=list)
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    from_cache: bool = False
+    program: Optional[object] = None  # lang.ast.Program; not persisted
+    source_module: Optional[Module] = None
+    source_graph: Optional[ProgramGraph] = None
+    binary_module: Optional[Module] = None
+    binary_bytes: Optional[bytes] = None
+    decompiled_module: Optional[Module] = None
+    decompiled_graph: Optional[ProgramGraph] = None
+
+    @property
+    def complete(self) -> bool:
+        """True when every stage ran."""
+        return list(self.stages_completed) == list(STAGES)
+
+
+class StageFailure(RuntimeError):
+    """A pipeline stage raised (or was injected to fail).
+
+    ``result`` is the partial :class:`CompilationResult` up to — but not
+    including — the failed stage, so callers can count which artifacts
+    really exist (the Table-I statistics fix).
+    """
+
+    def __init__(self, stage: str, result: CompilationResult, cause: Optional[BaseException] = None):  # noqa: D107
+        detail = f": {cause}" if cause is not None else ""
+        super().__init__(f"stage {stage!r} failed for {result.name!r}{detail}")
+        self.stage = stage
+        self.result = result
+
+
+class CompilationPipeline:
+    """Run the staged source→graphs chain, optionally through an artifact store.
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`repro.artifacts.ArtifactStore`.  When set and
+        :meth:`compile` is given a ``cache_key``, complete results are
+        read from / written to it.
+    timer:
+        Shared :class:`Timer` accumulating per-stage wall clock across
+        every compile this pipeline runs (one is created if omitted).
+    fail_stage:
+        Deterministic failure injection: every compile raises
+        :class:`StageFailure` when it reaches this stage.  Models the
+        paper's non-compilable submissions and backs the stage-accounting
+        tests; leave ``None`` in normal use.
+    """
+
+    version = PIPELINE_VERSION
+
+    def __init__(self, store=None, timer: Optional[Timer] = None, fail_stage: Optional[str] = None):  # noqa: D107
+        self.store = store
+        self.timer = timer or Timer()
+        self.fail_stage = fail_stage
+
+    @staticmethod
+    def _check_language(language: str, program) -> None:
+        # Raised before any stage runs: a caller naming a language we have
+        # no front-end for is an API misuse (ValueError), not a pipeline
+        # stage failing on valid input.
+        if program is None and language not in FRONTENDS:
+            raise ValueError(f"unsupported language {language!r}")
+
+    # ------------------------------------------------------------- stages
+    def _run_stage(self, stage: str, result: CompilationResult, fn: Callable[[], None]) -> None:
+        if self.fail_stage == stage:
+            raise StageFailure(stage, result)
+        start = time.perf_counter()
+        try:
+            with self.timer.span(stage):
+                fn()
+        except StageFailure:
+            raise
+        except Exception as exc:  # noqa: BLE001 - rewrapped with stage context
+            raise StageFailure(stage, result, exc) from exc
+        result.stage_seconds[stage] = time.perf_counter() - start
+        result.stages_completed.append(stage)
+
+    def _parse(self, result: CompilationResult) -> None:
+        if result.program is None:
+            if result.language not in FRONTENDS:
+                raise ValueError(f"unsupported language {result.language!r}")
+            result.program = FRONTENDS[result.language](result.source_text)
+            result.program.language = result.language
+
+    def _lower(self, result: CompilationResult) -> None:
+        # Two independent lowerings: ``optimize`` mutates in place, and the
+        # source view must stay -O0 (the paper graphs unoptimized front-end
+        # IR on the source side).
+        result.source_module = lower_program(result.program, name=result.name)
+        result.binary_module = lower_program(result.program, name=result.name + ".bin")
+
+    def _optimize(self, result: CompilationResult) -> None:
+        optimize(result.binary_module, result.opt_level)
+
+    def _codegen(self, result: CompilationResult) -> None:
+        result.binary_bytes = compile_module(
+            result.binary_module, style=result.compiler
+        ).encode()
+
+    def _decompile(self, result: CompilationResult) -> None:
+        result.decompiled_module = decompile_bytes(
+            result.binary_bytes, result.name + ".dec"
+        )
+
+    def _graph(self, result: CompilationResult) -> None:
+        result.source_graph = build_graph(result.source_module, name=result.name)
+        result.decompiled_graph = build_graph(
+            result.decompiled_module, name=result.name + ".dec"
+        )
+
+    # ------------------------------------------------------------ running
+    def compile(
+        self,
+        source_text: str,
+        language: str,
+        name: str = "unit",
+        opt_level: str = "Oz",
+        compiler: str = "clang",
+        *,
+        program=None,
+        cache_key=None,
+        cache_lookup: bool = True,
+    ) -> CompilationResult:
+        """Run every stage (or load the stored result) for one source file.
+
+        ``program`` optionally supplies an already-parsed AST (the corpus
+        generator round-trips text through the front-end anyway), making
+        the parse stage a recorded no-op.  ``cache_key`` is an
+        :class:`repro.artifacts.ArtifactKey`; with a ``store`` configured,
+        a hit skips every stage and a completed miss is persisted.
+        ``cache_lookup=False`` skips the read (callers that already probed
+        the store pass this so misses are not double-counted) while still
+        persisting the result.
+        """
+        self._check_language(language, program)
+        if cache_lookup and cache_key is not None and self.store is not None:
+            start = time.perf_counter()
+            with self.timer.span("store.load"):
+                cached = self.store.get(cache_key)
+            if cached is not None:
+                cached.stage_seconds = {"store.load": time.perf_counter() - start}
+                cached.from_cache = True
+                return cached
+        result = CompilationResult(
+            name=name,
+            language=language,
+            opt_level=opt_level,
+            compiler=compiler,
+            source_text=source_text,
+            program=program,
+        )
+        self._run_stage(STAGE_PARSE, result, lambda: self._parse(result))
+        self._run_stage(STAGE_LOWER, result, lambda: self._lower(result))
+        self._run_stage(STAGE_OPTIMIZE, result, lambda: self._optimize(result))
+        self._run_stage(STAGE_CODEGEN, result, lambda: self._codegen(result))
+        self._run_stage(STAGE_DECOMPILE, result, lambda: self._decompile(result))
+        self._run_stage(STAGE_GRAPH, result, lambda: self._graph(result))
+        if cache_key is not None and self.store is not None and result.complete:
+            with self.timer.span("store.save"):
+                self.store.put(cache_key, result)
+        return result
+
+    # --------------------------------------------------------- fast paths
+    def source_graph(self, source_text: str, language: str, name: str = "unit", *, program=None) -> ProgramGraph:
+        """Source text → source-IR graph, skipping the whole binary half."""
+        self._check_language(language, program)
+        result = CompilationResult(
+            name=name,
+            language=language,
+            opt_level="",
+            compiler="",
+            source_text=source_text,
+            program=program,
+        )
+        self._run_stage(STAGE_PARSE, result, lambda: self._parse(result))
+
+        def lower_source_only() -> None:
+            result.source_module = lower_program(result.program, name=name)
+
+        self._run_stage(STAGE_LOWER, result, lower_source_only)
+
+        def graph_source_only() -> None:
+            result.source_graph = build_graph(result.source_module, name=name)
+
+        self._run_stage(STAGE_GRAPH, result, graph_source_only)
+        return result.source_graph
+
+    def binary_graph(self, raw: bytes, name: str = "binary") -> ProgramGraph:
+        """Binary bytes → decompiled-IR graph (the pipeline's back half)."""
+        with self.timer.span(STAGE_DECOMPILE):
+            module = decompile_bytes(raw, name)
+        with self.timer.span(STAGE_GRAPH):
+            return build_graph(module, name=name)

@@ -109,6 +109,67 @@ class TestIndexParser:
             build_parser().parse_args(["index"])
 
 
+class TestCorpusParser:
+    def test_build_defaults(self):
+        args = build_parser().parse_args(["corpus", "build"])
+        assert args.corpus_command == "build"
+        assert args.languages == "c,java"
+        assert args.store is None
+        assert args.parallel == 0
+
+    def test_stats_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corpus", "stats"])
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["corpus"])
+
+
+class TestCorpusCommands:
+    def test_build_reports_stats_and_stages(self, capsys):
+        rc = main(["corpus", "build", "--num-tasks", "3", "--variants", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "built" in out and "Table-I statistics" in out
+        assert "per-stage wall clock" in out
+        assert "codegen" in out and "decompile" in out
+
+    def test_build_cold_then_warm_store(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        argv = [
+            "corpus", "build", "--num-tasks", "3", "--variants", "1",
+            "--languages", "c", "--store", store,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "artifact store: 0 hits" in cold
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert ", 0 misses" in warm
+
+    def test_build_parallel(self, tmp_path, capsys):
+        rc = main([
+            "corpus", "build", "--num-tasks", "3", "--variants", "1",
+            "--languages", "c", "--store", str(tmp_path / "artifacts"),
+            "--parallel", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "parallel x2" in out
+
+    def test_stats_command(self, tmp_path, capsys):
+        store = str(tmp_path / "artifacts")
+        assert main([
+            "corpus", "build", "--num-tasks", "2", "--variants", "1",
+            "--languages", "c", "--store", store,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["corpus", "stats", store]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "size:" in out
+
+
 class TestIndexCommands:
     """Build and query an embedding index through the CLI."""
 

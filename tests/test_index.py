@@ -427,14 +427,34 @@ class TestPipelineFastPaths:
             pipe.rank_sources(c[0].binary_bytes, candidates[:2], index=index)
 
     def test_foreign_trainer_index_rejected(self, trained, corpus):
-        """A prebuilt index is bound to the pipeline's own trainer."""
+        """A prebuilt index is bound to the pipeline's model weights."""
         c, j = corpus
         candidates = [(s.source_text, s.language) for s in j[:3]]
         other = _train(corpus, seed=7)
         foreign = MatcherPipeline(other).source_index(candidates)
         pipe = MatcherPipeline(trained)
-        with pytest.raises(ValueError, match="different trainer"):
+        with pytest.raises(ValueError, match="different model"):
             pipe.rank_sources(c[0].binary_bytes, candidates, index=foreign)
+
+    def test_reloaded_trainer_index_reusable(self, trained, corpus, tmp_path):
+        """Fingerprint-equal trainers share indexes across save/load.
+
+        The identity check used to reject an index built by a
+        saved-then-reloaded copy of the *same* model — exactly the
+        cross-process reuse the persistent index exists for.
+        """
+        c, j = corpus
+        candidates = [(s.source_text, s.language) for s in j[:4]]
+        trained.save(str(tmp_path / "model.npz"))
+        reloaded = MatchTrainer.load(str(tmp_path / "model.npz"))
+        index = MatcherPipeline(reloaded).source_index(candidates)
+        pipe = MatcherPipeline(trained)
+        ranked = pipe.rank_sources(c[0].binary_bytes, candidates, index=index)
+        direct = pipe.rank_sources(c[0].binary_bytes, candidates)
+        assert [i for i, _ in ranked] == [i for i, _ in direct]
+        np.testing.assert_allclose(
+            [s for _, s in ranked], [s for _, s in direct], atol=1e-5
+        )
 
     def test_mismatched_candidates_rejected(self, trained, corpus):
         """Same-length but different candidate list must not mis-rank."""

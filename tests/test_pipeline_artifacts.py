@@ -1,0 +1,327 @@
+"""Tests for the staged compilation pipeline, serializers, and artifact store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.artifacts import ArtifactKey, ArtifactStore, source_text_id
+from repro.config import DataConfig, tiny_data_config
+from repro.core.pipeline import compile_to_views
+from repro.data.corpus import CorpusBuilder, corpus_statistics
+from repro.graphs import build_graph
+from repro.graphs.serialize import (
+    graph_from_arrays,
+    graph_to_arrays,
+    load_graph,
+    save_graph,
+)
+from repro.index import graph_fingerprint
+from repro.ir.lowering import lower_program
+from repro.ir.printer import print_module
+from repro.ir.serialize import module_from_dict, module_to_dict, type_from_str
+from repro.ir.types import I1, I32, I64, VOID, PtrType
+from repro.lang.generator import SolutionGenerator
+from repro.pipeline import (
+    PIPELINE_VERSION,
+    STAGES,
+    CompilationPipeline,
+    StageFailure,
+)
+
+
+@pytest.fixture(scope="module")
+def solution():
+    return SolutionGenerator(seed=3, independent=True).generate("gcd", 1, "java")
+
+
+@pytest.fixture(scope="module")
+def compiled(solution):
+    return CompilationPipeline().compile(solution.text, "java", name=solution.identifier)
+
+
+class TestStagedPipeline:
+    def test_all_stages_complete_in_order(self, compiled):
+        assert list(compiled.stages_completed) == list(STAGES)
+        assert compiled.complete
+
+    def test_every_stage_timed(self, compiled):
+        assert set(compiled.stage_seconds) == set(STAGES)
+        assert all(t >= 0.0 for t in compiled.stage_seconds.values())
+
+    def test_pipeline_timer_accumulates(self, solution):
+        pipeline = CompilationPipeline()
+        pipeline.compile(solution.text, "java")
+        pipeline.compile(solution.text, "java")
+        assert pipeline.timer.counts["codegen"] == 2
+
+    def test_unsupported_language_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unsupported language"):
+            CompilationPipeline().compile("fn main() {}", "rust")
+        with pytest.raises(ValueError, match="unsupported language"):
+            CompilationPipeline().source_graph("fn main() {}", "rust")
+
+    def test_stage_failure_reports_partial_progress(self, solution):
+        pipeline = CompilationPipeline(fail_stage="codegen")
+        with pytest.raises(StageFailure) as exc:
+            pipeline.compile(solution.text, "java")
+        assert exc.value.stage == "codegen"
+        assert exc.value.result.stages_completed == ["parse", "lower", "optimize"]
+        assert exc.value.result.binary_bytes is None
+
+    def test_matches_compile_to_views(self, solution, compiled):
+        views = compile_to_views(solution.text, "java", name=solution.identifier)
+        assert graph_fingerprint(views.source_graph) == graph_fingerprint(
+            compiled.source_graph
+        )
+        assert graph_fingerprint(views.decompiled_graph) == graph_fingerprint(
+            compiled.decompiled_graph
+        )
+        assert views.binary_bytes == compiled.binary_bytes
+
+    def test_source_graph_fast_path_parity(self, solution, compiled):
+        fast = CompilationPipeline().source_graph(
+            solution.text, "java", name=solution.identifier
+        )
+        assert graph_fingerprint(fast) == graph_fingerprint(compiled.source_graph)
+
+    def test_binary_graph_fast_path_parity(self, compiled):
+        graph = CompilationPipeline().binary_graph(
+            compiled.binary_bytes, name=compiled.name + ".dec"
+        )
+        assert graph_fingerprint(graph) == graph_fingerprint(compiled.decompiled_graph)
+
+
+class TestCorpusPipelineParity:
+    """CorpusBuilder and compile_to_views share one pipeline implementation."""
+
+    def test_sample_graphs_match_compile_to_views(self):
+        samples = CorpusBuilder(tiny_data_config()).build(["c", "java"])
+        for sample in samples[:6]:
+            views = compile_to_views(
+                sample.source_text, sample.language,
+                opt_level=sample.opt_level, compiler=sample.compiler,
+                name=sample.identifier,
+            )
+            assert graph_fingerprint(views.source_graph) == graph_fingerprint(
+                sample.source_graph
+            )
+            assert graph_fingerprint(views.decompiled_graph) == graph_fingerprint(
+                sample.decompiled_graph
+            )
+            assert views.binary_bytes == sample.binary_bytes
+
+
+class TestStageAccurateStats:
+    def test_late_stage_failure_does_not_inflate_counters(self):
+        cfg = DataConfig(num_tasks=4, variants=1, seed=0, compile_failure_pct=0)
+        builder = CorpusBuilder(cfg, pipeline=CompilationPipeline(fail_stage="decompile"))
+        samples = builder.build(["c"])
+        stats = corpus_statistics(builder)["c"]
+        assert samples == []
+        assert stats["sources"] == stats["llvm_ir"] == stats["binaries"] == 4
+        assert stats["decompiled"] == 0
+
+    def test_early_stage_failure_counts_nothing_downstream(self):
+        cfg = DataConfig(num_tasks=4, variants=1, seed=0, compile_failure_pct=0)
+        builder = CorpusBuilder(cfg, pipeline=CompilationPipeline(fail_stage="lower"))
+        builder.build(["c"])
+        stats = corpus_statistics(builder)["c"]
+        assert stats["sources"] == 4
+        assert stats["llvm_ir"] == stats["binaries"] == stats["decompiled"] == 0
+
+
+class TestModuleSerialization:
+    def test_type_spelling_roundtrip(self):
+        for t in (I1, I32, I64, VOID, PtrType(I32), PtrType(PtrType(I64))):
+            assert type_from_str(str(t)) == t
+        with pytest.raises(ValueError):
+            type_from_str("f64")
+
+    @pytest.mark.parametrize("language", ["c", "cpp", "java"])
+    def test_source_module_roundtrip(self, language):
+        sf = SolutionGenerator(seed=1, independent=True).generate("gcd", 0, language)
+        module = lower_program(sf.program, name=sf.identifier)
+        restored = module_from_dict(json.loads(json.dumps(module_to_dict(module))))
+        assert print_module(restored) == print_module(module)
+        assert graph_fingerprint(build_graph(restored)) == graph_fingerprint(
+            build_graph(module)
+        )
+
+    def test_decompiled_module_roundtrip(self, compiled):
+        restored = module_from_dict(module_to_dict(compiled.decompiled_module))
+        assert print_module(restored) == print_module(compiled.decompiled_module)
+        assert restored.size() == compiled.decompiled_module.size()
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            module_from_dict({"format": 99, "name": "m", "source_language": "", "functions": []})
+
+
+class TestGraphSerialization:
+    def test_arrays_roundtrip_fingerprint_exact(self, compiled):
+        for graph in (compiled.source_graph, compiled.decompiled_graph):
+            restored = graph_from_arrays(graph_to_arrays(graph, prefix="g."), prefix="g.")
+            assert graph_fingerprint(restored) == graph_fingerprint(graph)
+            assert restored.name == graph.name
+            assert restored.source_language == graph.source_language
+            for rel in graph.edges:
+                np.testing.assert_array_equal(restored.edges[rel], graph.edges[rel])
+                np.testing.assert_array_equal(restored.positions[rel], graph.positions[rel])
+
+    def test_file_roundtrip(self, compiled, tmp_path):
+        path = save_graph(tmp_path / "g", compiled.source_graph)
+        assert path.endswith(".npz")
+        restored = load_graph(path)
+        assert graph_fingerprint(restored) == graph_fingerprint(compiled.source_graph)
+
+    def test_missing_prefix_rejected(self):
+        with pytest.raises(ValueError, match="prefix"):
+            graph_from_arrays({}, prefix="nope.")
+
+
+class TestArtifactStore:
+    def _key(self, **overrides):
+        fields = dict(
+            task="gcd", variant=1, language="java", opt_level="Oz",
+            compiler="clang", source_id="sha:abc",
+        )
+        fields.update(overrides)
+        return ArtifactKey(**fields)
+
+    def test_digest_covers_every_field(self):
+        base = self._key()
+        assert base.digest == self._key().digest
+        for change in (
+            dict(task="fib"), dict(variant=2), dict(language="c"),
+            dict(opt_level="O0"), dict(compiler="gcc"), dict(source_id="sha:zzz"),
+        ):
+            assert self._key(**change).digest != base.digest
+        assert ArtifactKey(**{**base.__dict__, "version": "other"}).digest != base.digest
+
+    def test_version_defaults_to_pipeline_fingerprint(self):
+        assert self._key().version == PIPELINE_VERSION
+
+    def test_put_get_roundtrip(self, compiled, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = self._key(source_id=source_text_id(compiled.source_text))
+        assert store.get(key) is None and store.misses == 1
+        store.put(key, compiled)
+        assert key in store and len(store) == 1
+        loaded = store.get(key)
+        assert loaded is not None and loaded.from_cache
+        assert loaded.source_text == compiled.source_text
+        assert loaded.binary_bytes == compiled.binary_bytes
+        assert graph_fingerprint(loaded.source_graph) == graph_fingerprint(
+            compiled.source_graph
+        )
+        assert graph_fingerprint(loaded.decompiled_graph) == graph_fingerprint(
+            compiled.decompiled_graph
+        )
+        # Lazy modules materialize to the exact original IR.
+        assert print_module(loaded.source_module) == print_module(compiled.source_module)
+        assert print_module(loaded.decompiled_module) == print_module(
+            compiled.decompiled_module
+        )
+        assert loaded.decompiled_module.size() == compiled.decompiled_module.size()
+
+    def test_incomplete_result_refused(self, solution, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        with pytest.raises(StageFailure) as exc:
+            CompilationPipeline(fail_stage="graph").compile(solution.text, "java")
+        with pytest.raises(ValueError, match="incomplete"):
+            store.put(self._key(), exc.value.result)
+
+    def test_corrupt_entry_is_a_miss(self, compiled, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        key = self._key()
+        path = store.put(key, compiled)
+        path.write_bytes(b"not an npz archive")
+        assert store.get(key) is None
+        # A truncated zip (crash mid-write, disk full) raises BadZipFile
+        # inside np.load — still a miss, never an error.
+        path.write_bytes(b"PK\x03\x04" + b"\x00" * 8)
+        assert store.get(key) is None
+
+    def test_stats_reporting(self, compiled, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        store.put(self._key(), compiled)
+        store.get(self._key())
+        s = store.stats()
+        assert s["entries"] == 1 and s["hits"] == 1 and s["bytes"] > 0
+
+
+class TestColdWarmParallelBuilds:
+    CFG = dict(num_tasks=5, variants=2, seed=0)
+
+    def _fingerprints(self, samples):
+        return [
+            (
+                s.identifier,
+                graph_fingerprint(s.source_graph),
+                graph_fingerprint(s.decompiled_graph),
+                s.binary_bytes,
+            )
+            for s in samples
+        ]
+
+    def test_warm_build_equals_cold_build(self, tmp_path):
+        cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
+        cold_builder = CorpusBuilder(cfg)
+        cold = cold_builder.build(["c", "java"])
+        warm_builder = CorpusBuilder(cfg)
+        warm = warm_builder.build(["c", "java"])
+        assert self._fingerprints(warm) == self._fingerprints(cold)
+        assert corpus_statistics(warm_builder) == corpus_statistics(cold_builder)
+        assert warm_builder.store.hits == len(warm)
+        assert [s.source_text for s in warm] == [s.source_text for s in cold]
+        # Exactly one store probe per compiled sample — no double-counted
+        # misses on the cold path, no misses at all on the warm path.
+        assert cold_builder.store.misses == len(cold)
+        assert warm_builder.store.misses == 0
+
+    def test_store_matches_storeless_build(self, tmp_path):
+        stored = CorpusBuilder(
+            DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
+        ).build(["c"])
+        plain = CorpusBuilder(DataConfig(**self.CFG)).build(["c"])
+        assert self._fingerprints(stored) == self._fingerprints(plain)
+
+    def test_parallel_build_identical_to_serial(self, tmp_path):
+        cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
+        par_builder = CorpusBuilder(cfg)
+        par = par_builder.build_parallel(["c", "java"], workers=2)
+        ser_builder = CorpusBuilder(DataConfig(**self.CFG))
+        ser = ser_builder.build(["c", "java"])
+        assert self._fingerprints(par) == self._fingerprints(ser)
+        assert corpus_statistics(par_builder) == corpus_statistics(ser_builder)
+
+    def test_parallel_build_without_store_uses_scratch(self):
+        builder = CorpusBuilder(DataConfig(**self.CFG))
+        par = builder.build_parallel(["c"], workers=2)
+        ser = CorpusBuilder(DataConfig(**self.CFG)).build(["c"])
+        assert self._fingerprints(par) == self._fingerprints(ser)
+        assert builder.store is None  # scratch store cleaned up
+
+    def test_opt_level_and_compiler_key_separation(self, tmp_path):
+        cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
+        o0 = CorpusBuilder(cfg).build(["c"], opt_level="O0")
+        oz_builder = CorpusBuilder(cfg)
+        oz = oz_builder.build(["c"], opt_level="Oz")
+        # Different opt levels must not collide in the store.
+        assert oz_builder.store.hits == 0
+        assert [s.opt_level for s in o0] == ["O0"] * len(o0)
+        assert [s.opt_level for s in oz] == ["Oz"] * len(oz)
+
+
+class TestCompileToViewsStore:
+    def test_views_cached_across_calls(self, solution, tmp_path):
+        store = ArtifactStore(tmp_path / "store")
+        first = compile_to_views(solution.text, "java", store=store)
+        assert store.misses == 1
+        second = compile_to_views(solution.text, "java", store=store)
+        assert store.hits == 1
+        assert graph_fingerprint(first.source_graph) == graph_fingerprint(
+            second.source_graph
+        )
+        assert first.binary_bytes == second.binary_bytes
