@@ -18,6 +18,36 @@ python -m repro train --num-tasks 6 --variants 1 --epochs 2 --output "$tmp/model
 python -m repro index build "$tmp/model.npz" --output "$tmp/index.npz" --num-tasks 6 --variants 1
 python -m repro index query "$tmp/model.npz" "$tmp/index.npz" --task gcd --language c --top-k 3
 
+echo "== smoke: sharded index build -> query =="
+python -m repro index build "$tmp/model.npz" --output "$tmp/sharded" --num-tasks 6 --variants 1 --shard-size 2
+python -m repro index query "$tmp/model.npz" "$tmp/sharded" --task gcd --language c --top-k 3
+
+echo "== smoke: repro serve (JSON-lines stdin/stdout) =="
+python - "$tmp" <<'EOF'
+import base64, json, sys
+from repro.core.pipeline import compile_to_views
+from repro.lang.generator import SolutionGenerator
+tmp = sys.argv[1]
+gen = SolutionGenerator(seed=0, independent=True)
+binary = gen.generate("gcd", 0, "c")
+views = compile_to_views(binary.text, "c", name=binary.identifier)
+source = gen.generate("sum_array", 0, "java")
+with open(f"{tmp}/requests.jsonl", "w") as fh:
+    fh.write(json.dumps({"id": "bin", "k": 3,
+        "binary_b64": base64.b64encode(views.binary_bytes).decode()}) + "\n")
+    fh.write(json.dumps({"id": "src", "k": 3,
+        "source": source.text, "language": "java"}) + "\n")
+EOF
+python -m repro serve "$tmp/model.npz" "$tmp/sharded" --batch 2 \
+  < "$tmp/requests.jsonl" > "$tmp/responses.jsonl"
+python - "$tmp" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(f"{sys.argv[1]}/responses.jsonl")]
+assert [l.get("id") for l in lines] == ["bin", "src"], lines
+assert all(len(l["hits"]) == 3 for l in lines), lines
+print("serve smoke: OK")
+EOF
+
 echo "== smoke: corpus build cold -> warm artifact cache =="
 python -m repro corpus build --num-tasks 4 --variants 1 --languages c,java --store "$tmp/artifacts"
 warm_out="$(python -m repro corpus build --num-tasks 4 --variants 1 --languages c,java --store "$tmp/artifacts")"

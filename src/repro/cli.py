@@ -14,6 +14,10 @@ Commands
                corpus (optionally into a content-addressed artifact store,
                optionally in parallel) and reports Table-I stats plus
                per-stage timing; ``corpus stats`` prints store contents.
+``serve``      Long-lived retrieval service: JSON-lines requests (base64
+               binary bytes or source text) on stdin, ranked hits as
+               JSON-lines on stdout, batching pipelined requests through
+               one warm pipeline + index.
 ``tasks``      List the task templates the generator knows.
 
 Everything is deterministic given ``--seed``; commands print the exact
@@ -78,9 +82,12 @@ def build_parser() -> argparse.ArgumentParser:
     ib.add_argument("--num-tasks", type=int, default=8)
     ib.add_argument("--variants", type=int, default=1)
     ib.add_argument("--seed", type=int, default=0)
+    ib.add_argument("--shard-size", type=int, default=0, metavar="N",
+                    help="write a sharded index directory with N entries "
+                         "per shard instead of one monolithic .npz")
     iq = ixsub.add_parser("query", help="rank indexed sources for a binary query")
     iq.add_argument("checkpoint")
-    iq.add_argument("index")
+    iq.add_argument("index", help=".npz index file or sharded index directory")
     iq.add_argument("--task", default="gcd", help="task to compile as the query binary")
     iq.add_argument("--language", default="c", choices=("c", "cpp", "java"))
     iq.add_argument("--variant", type=int, default=0)
@@ -103,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
                     help="compile cold samples with N worker processes")
     cs = csub.add_parser("stats", help="show an artifact store's contents")
     cs.add_argument("store", metavar="DIR", help="artifact store root")
+
+    sv = sub.add_parser("serve", help="serve JSON-lines retrieval requests on stdin")
+    sv.add_argument("checkpoint")
+    sv.add_argument("index", help=".npz index file or sharded index directory")
+    sv.add_argument("--batch", type=int, default=8, metavar="N",
+                    help="score up to N pipelined requests per batched pass")
+    sv.add_argument("--top-k", type=int, default=5,
+                    help="default hit-list size (requests override with 'k')")
+    sv.add_argument("--store", default=None, metavar="DIR",
+                    help="artifact store root shared across requests")
 
     sub.add_parser("tasks", help="list available task templates")
     return p
@@ -223,7 +240,7 @@ def cmd_index_build(args) -> int:
     from repro.config import DataConfig
     from repro.core.trainer import MatchTrainer
     from repro.data.corpus import CorpusBuilder
-    from repro.index import EmbeddingIndex
+    from repro.index import EmbeddingIndex, ShardedEmbeddingIndex
 
     trainer = MatchTrainer.load(args.checkpoint)
     cfg = DataConfig(num_tasks=args.num_tasks, variants=args.variants, seed=args.seed)
@@ -237,7 +254,16 @@ def cmd_index_build(args) -> int:
             for s in samples
         ],
     )
-    written = index.save(args.output)
+    if args.shard_size:
+        # Any non-zero value reaches from_index, so a negative size errors
+        # loudly instead of silently writing a monolithic file.  overwrite:
+        # rebuilds replace the old shard set, like the monolithic path.
+        sharded = ShardedEmbeddingIndex.from_index(
+            index, args.output, args.shard_size, overwrite=True
+        )
+        written = f"{args.output} ({sharded.num_shards} shards)"
+    else:
+        written = index.save(args.output)
     print(f"indexed {len(index)} source graphs in {time.time() - t0:.1f}s "
           f"({index.cache_misses} encoded, {index.cache_hits} cache hits)")
     print(f"index -> {written}")
@@ -248,11 +274,11 @@ def cmd_index_query(args) -> int:
     """Compile one solution to a binary and rank the indexed sources."""
     from repro.core.pipeline import compile_to_views
     from repro.core.trainer import MatchTrainer
-    from repro.index import EmbeddingIndex
+    from repro.index import open_index
     from repro.lang.generator import SolutionGenerator
 
     trainer = MatchTrainer.load(args.checkpoint)
-    index = EmbeddingIndex.load(args.index, trainer)
+    index = open_index(args.index, trainer)
     gen = SolutionGenerator(seed=args.seed, independent=True)
     sf = gen.generate(args.task, args.variant, args.language)
     views = compile_to_views(sf.text, sf.language, name=sf.identifier)
@@ -331,6 +357,36 @@ def cmd_corpus_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Serve JSON-lines retrieval requests from stdin until EOF."""
+    from repro.artifacts import ArtifactStore
+    from repro.core.trainer import MatchTrainer
+    from repro.index import open_index
+    from repro.serve import RetrievalServer
+
+    trainer = MatchTrainer.load(args.checkpoint)
+    index = open_index(args.index, trainer)
+    store = ArtifactStore(args.store) if args.store else None
+    server = RetrievalServer(
+        trainer, index, batch_size=args.batch, default_k=args.top_k, store=store
+    )
+    # Status goes to stderr: stdout is the JSON-lines response channel.
+    shards = getattr(index, "num_shards", None)
+    print(
+        f"serving {len(index)} entries"
+        + (f" across {shards} shards" if shards is not None else "")
+        + f" (batch={args.batch}, top-k={args.top_k})",
+        file=sys.stderr,
+    )
+    stats = server.serve(sys.stdin, sys.stdout)
+    print(
+        f"served {stats.requests} requests in {stats.batches} batches "
+        f"({stats.errors} errors)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_tasks(_args) -> int:
     """List task templates."""
     from repro.lang.tasks import TASK_REGISTRY
@@ -347,6 +403,7 @@ _COMMANDS = {
     "retrieve": cmd_retrieve,
     "index": cmd_index,
     "corpus": cmd_corpus,
+    "serve": cmd_serve,
     "tasks": cmd_tasks,
 }
 

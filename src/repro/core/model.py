@@ -22,6 +22,7 @@ import numpy as np
 
 import repro.nn as nn
 from repro.config import ModelConfig
+from repro.core.node_features import NodeTokens
 from repro.graphs.batch import GraphBatch
 from repro.graphs.programl import RELATIONS
 from repro.nn.functional import concat
@@ -77,19 +78,31 @@ class GraphBinMatch(nn.Module):
         self.encoder_graph_count = 0
 
     # ----------------------------------------------------------- encoding
-    def node_features(self, token_ids: np.ndarray) -> Tensor:
-        """Embed token ids ``(N, L)`` and max-reduce to ``(N, D)``.
+    def node_features(self, token_ids) -> Tensor:
+        """Embed token ids and max-reduce to per-node features ``(N, D)``.
+
+        ``token_ids`` is a dense ``(N, L)`` matrix or a deduplicated
+        :class:`~repro.core.node_features.NodeTokens`; with the latter the
+        embed/mask/reduce pipeline runs on the unique rows only and fans
+        out by (differentiable) gather — numerically identical, since
+        every step is row-independent, and several times less work for
+        multi-graph batches where most rows repeat.
 
         PAD positions (id 0) are masked to -inf before the max so padding
         never wins the reduction; all-PAD rows fall back to zeros.
         """
-        emb = self.token_embedding(token_ids)  # (N, L, D)
-        mask = (token_ids != 0).astype(np.float32)[:, :, None]  # (N, L, 1)
+        if isinstance(token_ids, NodeTokens):
+            ids, inverse = token_ids.unique_ids, token_ids.inverse
+        else:
+            ids, inverse = token_ids, None
+        emb = self.token_embedding(ids)  # (U, L, D)
+        mask = (ids != 0).astype(np.float32)[:, :, None]  # (U, L, 1)
         neg = Tensor((1.0 - mask) * -1e9)
         masked = emb * Tensor(mask) + neg
-        reduced = masked.max(axis=1)  # (N, D)
-        any_token = (token_ids != 0).any(axis=1).astype(np.float32)[:, None]
-        return reduced * Tensor(any_token)
+        reduced = masked.max(axis=1)  # (U, D)
+        any_token = (ids != 0).any(axis=1).astype(np.float32)[:, None]
+        out = reduced * Tensor(any_token)
+        return out if inverse is None else out[inverse]
 
     def encode_graphs(self, batch: GraphBatch, token_ids: np.ndarray) -> Tensor:
         """Full encoder: token ids → graph-level embeddings ``(G, 2H)``.

@@ -72,13 +72,19 @@ def compile_to_views(
 
 
 class MatcherPipeline:
-    """Score raw (binary, source) inputs with a trained matcher."""
+    """Score raw (binary, source) inputs with a trained matcher.
 
-    def __init__(self, trainer: MatchTrainer):  # noqa: D107
+    ``store`` optionally attaches an :class:`~repro.artifacts.ArtifactStore`
+    to the internal :class:`CompilationPipeline`, so a long-lived pipeline
+    (e.g. the ``repro serve`` process) reuses persisted compilation
+    artifacts across requests instead of recompiling repeats.
+    """
+
+    def __init__(self, trainer: MatchTrainer, store=None):  # noqa: D107
         if trainer.model is None:
             raise ValueError("trainer has no trained model")
         self.trainer = trainer
-        self.compiler = CompilationPipeline()
+        self.compiler = CompilationPipeline(store=store)
         # Trainers whose weight fingerprint already matched ours; hashing
         # every weight tensor is too expensive to repeat per query.
         self._trusted_trainer_ids: set = set()
@@ -149,33 +155,62 @@ class MatcherPipeline:
         and each query runs one encoder forward plus the vectorized pair
         head, instead of re-encoding every pair from scratch.
         """
-        if index is None:
-            index = self.source_index(candidates)
-        else:
-            # Same trainer object is trivially compatible; otherwise compare
-            # weight + tokenizer fingerprints (memoized after the first
-            # match), so an index built by a saved-then-reloaded checkpoint
-            # of this model stays usable.
-            if (
-                index.trainer is not self.trainer
-                and id(index.trainer) not in self._trusted_trainer_ids
-            ):
-                if model_fingerprint(index.trainer) != model_fingerprint(self.trainer):
-                    raise ValueError(
-                        "index was built by a different model (weight/tokenizer "
-                        "fingerprint mismatch); rebuild with this pipeline's "
-                        "source_index()"
-                    )
-                self._trusted_trainer_ids.add(id(index.trainer))
-            if len(index) != len(candidates):
-                raise ValueError(
-                    f"index has {len(index)} entries for {len(candidates)} candidates"
-                )
-            if index.tag != self._candidates_tag(candidates):
-                raise ValueError(
-                    "index does not match this candidate list (tag "
-                    f"{index.tag!r}); build it with source_index()"
-                )
+        index = self._checked_index(candidates, index)
         scores = index.scores(self.graph_of_binary(raw))
         order = np.argsort(-scores, kind="stable")
         return [(int(i), float(scores[i])) for i in order]
+
+    def rank_sources_batch(
+        self,
+        raws: Sequence[bytes],
+        candidates: Sequence[Tuple[str, str]],
+        index: Optional[EmbeddingIndex] = None,
+    ) -> List[List[Tuple[int, float]]]:
+        """Rank the candidates for many binaries in one batched pass.
+
+        Like a loop of :meth:`rank_sources`, but all query binaries are
+        decompiled up front, encoded through the GNN in one batch and
+        scored in one tiled pair-head pass — the serving layer's hot path.
+        """
+        index = self._checked_index(candidates, index)
+        graphs = [self.graph_of_binary(raw) for raw in raws]
+        all_scores = index.scores_batch(graphs)
+        out: List[List[Tuple[int, float]]] = []
+        for row in all_scores:
+            order = np.argsort(-row, kind="stable")
+            out.append([(int(i), float(row[i])) for i in order])
+        return out
+
+    def _checked_index(
+        self,
+        candidates: Sequence[Tuple[str, str]],
+        index: Optional[EmbeddingIndex],
+    ) -> EmbeddingIndex:
+        """Build (or validate a caller-supplied) candidate index."""
+        if index is None:
+            return self.source_index(candidates)
+        # Same trainer object is trivially compatible; otherwise compare
+        # weight + tokenizer fingerprints (memoized after the first
+        # match), so an index built by a saved-then-reloaded checkpoint
+        # of this model stays usable.
+        if (
+            index.trainer is not self.trainer
+            and id(index.trainer) not in self._trusted_trainer_ids
+        ):
+            if model_fingerprint(index.trainer) != model_fingerprint(self.trainer):
+                raise ValueError(
+                    "index was built by a different model (weight/tokenizer "
+                    "fingerprint mismatch); rebuild with this pipeline's "
+                    "source_index()"
+                )
+            self._trusted_trainer_ids.add(id(index.trainer))
+        if len(index) != len(candidates):
+            raise ValueError(
+                f"index has {len(index)} entries for {len(candidates)} candidates"
+            )
+        if index.tag != self._candidates_tag(candidates):
+            raise ValueError(
+                "index does not match this candidate list (tag "
+                f"{index.tag!r}); build it with source_index()"
+            )
+        return index

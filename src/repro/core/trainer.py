@@ -8,14 +8,14 @@ whole step is a single vectorized forward/backward.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 import repro.nn as nn
 from repro.config import ModelConfig
 from repro.core.model import GraphBinMatch
-from repro.core.node_features import encode_nodes, train_tokenizer
+from repro.core.node_features import encode_nodes, encode_nodes_unique, train_tokenizer
 from repro.data.pairs import MatchingPair, PairDataset
 from repro.graphs.batch import batch_graphs
 from repro.graphs.programl import ProgramGraph
@@ -33,6 +33,21 @@ class TrainReport:
     valid_f1: float = 0.0
     valid_f1_curve: List[float] = field(default_factory=list)
     best_epoch: int = -1
+
+
+def weighted_epoch_loss(batch_losses: Sequence[Tuple[float, int]]) -> float:
+    """Pair-weighted mean of per-batch mean losses.
+
+    Each entry is ``(mean loss over the batch, pairs in the batch)``.  A
+    plain mean over batches would give the ragged final minibatch the same
+    weight as a full one, biasing the reported curve toward whatever pairs
+    land there; weighting by pair count makes the epoch number the true
+    mean loss over all pairs.
+    """
+    total = sum(count for _, count in batch_losses)
+    if total == 0:
+        return 0.0
+    return float(sum(loss * count for loss, count in batch_losses) / total)
 
 
 class MatchTrainer:
@@ -121,8 +136,8 @@ class MatchTrainer:
                 loss.backward()
                 clip_grad_norm(model.parameters(), self.config.grad_clip)
                 optimizer.step()
-                losses.append(loss.item())
-            report.epoch_losses.append(float(np.mean(losses)) if losses else 0.0)
+                losses.append((loss.item(), len(labels)))
+            report.epoch_losses.append(weighted_epoch_loss(losses))
             if track_valid:
                 valid_scores = self.predict(dataset.valid)
                 f1 = classification_metrics(valid_labels, valid_scores >= 0.5).f1
@@ -186,8 +201,12 @@ class MatchTrainer:
             for start in range(0, len(graphs), batch_size):
                 chunk = graphs[start : start + batch_size]
                 batch = batch_graphs(chunk)
-                token_ids = encode_nodes(self.tokenizer, batch, self.config.feature_mode)
-                out.append(model.encode_graphs(batch, token_ids).data.copy())
+                # Deduplicated token rows: the embed/reduce stage runs once
+                # per distinct instruction shape, not once per node.
+                tokens = encode_nodes_unique(
+                    self.tokenizer, batch, self.config.feature_mode
+                )
+                out.append(model.encode_graphs(batch, tokens).data.copy())
         if not out:
             return np.zeros((0, 2 * self.config.hidden_dim), dtype=np.float32)
         return np.concatenate(out, axis=0)

@@ -281,6 +281,8 @@ class CorpusBuilder:
         opt_level = opt_level or self.config.opt_level
         compiler = compiler or self.config.compiler
         workers = workers if workers is not None else multiprocessing.cpu_count()
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         scratch: Optional[str] = None
         original_store, original_pipeline = self.store, self.pipeline
         if self.store is None:
@@ -299,13 +301,15 @@ class CorpusBuilder:
                 and self.artifact_key(*item, opt_level, compiler) not in self.store
             ]
             if todo and workers > 1:
-                chunks = [todo[i::workers] for i in range(workers)]
+                # Strided chunks over min(workers, len(todo)) are all
+                # non-empty, so the pool never exceeds the requested
+                # worker count and never holds idle processes.
+                fan_out = min(workers, len(todo))
                 payloads = [
-                    (self.config, str(self.store.root), chunk, opt_level, compiler)
-                    for chunk in chunks
-                    if chunk
+                    (self.config, str(self.store.root), todo[i::fan_out], opt_level, compiler)
+                    for i in range(fan_out)
                 ]
-                with multiprocessing.Pool(len(payloads)) as pool:
+                with multiprocessing.Pool(fan_out) as pool:
                     pool.map(_compile_chunk, payloads)
             elif todo:
                 _compile_chunk(

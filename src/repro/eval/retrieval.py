@@ -10,7 +10,7 @@ ranked-retrieval evaluator with the standard metrics: MRR, top-k accuracy
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 try:  # Protocol: py3.8+; keep a fallback for exotic interpreters
     from typing import Protocol
@@ -146,11 +146,12 @@ def rank_candidates(
 
 
 def evaluate_retrieval(
-    score_fn: Scorer,
+    score_fn: Optional[Scorer],
     queries: Sequence[Tuple[ProgramGraph, str]],
     candidates: Sequence[Tuple[ProgramGraph, str]],
     ks: Sequence[int] = (1, 3, 5, 10),
     batch_size: int = 64,
+    index=None,
 ) -> RetrievalResult:
     """Full retrieval sweep: every query ranked against all candidates.
 
@@ -164,10 +165,56 @@ def evaluate_retrieval(
     the vectorized pair head over the tiled embedding matrices — O(Q+C)
     encoder forwards instead of O(Q×C).  Callable scorers keep the original
     per-pair path, so oracle/baseline score functions still work.
+
+    ``index`` optionally supplies a prebuilt
+    :class:`~repro.index.EmbeddingIndex` or
+    :class:`~repro.index.ShardedEmbeddingIndex` whose entry *i* is
+    ``candidates[i]``; candidate embeddings then come straight from the
+    index (zero candidate encoder passes) and the query set is scored in
+    one batched pass.  ``score_fn`` may be None in that case.
     """
     cand_tasks = {c_task for _, c_task in candidates}
     kept = [q for q in queries if q[1] in cand_tasks]
-    if _exposes_embeddings(score_fn) and kept and candidates:
+    if index is not None:
+        if len(index) != len(candidates):
+            raise ValueError(
+                f"index has {len(index)} entries for {len(candidates)} candidates"
+            )
+        # Entry i must BE candidates[i]: index keys are content hashes of
+        # the indexed graphs, so a reordered / foreign index is caught here
+        # instead of silently mis-attributing scores to candidates.
+        from repro.index.embedding_index import graph_fingerprint, model_fingerprint
+
+        if index.keys != [graph_fingerprint(g) for g, _ in candidates]:
+            raise ValueError(
+                "index entries do not match the candidate graphs (same "
+                "graphs in the same order required); rebuild the index "
+                "from this candidate list"
+            )
+        # Scoring runs entirely through the index's model, so a scorer
+        # passed alongside must verifiably be the same checkpoint — a
+        # trainer is fingerprint-checked, while a plain callable (bound
+        # predict method, oracle fn) cannot be verified and is rejected
+        # rather than silently ignored.
+        if score_fn is not None and score_fn is not index.trainer:
+            if not (hasattr(score_fn, "model") and hasattr(score_fn, "tokenizer")):
+                raise ValueError(
+                    "a callable scorer cannot be checked against index=; "
+                    "pass the trainer itself or score_fn=None"
+                )
+            if model_fingerprint(score_fn) != model_fingerprint(index.trainer):
+                raise ValueError(
+                    "index was built by a different model than the scorer "
+                    "(weight/tokenizer fingerprint mismatch)"
+                )
+        all_scores = index.scores_batch([g for g, _ in kept], batch_size=batch_size)
+        rankings = [
+            _ranked(q_task, candidates, row)
+            for (_, q_task), row in zip(kept, all_scores)
+        ]
+    elif score_fn is None:
+        raise ValueError("pass a scorer, an index, or both")
+    elif _exposes_embeddings(score_fn) and kept and candidates:
         from repro.index.embedding_index import score_pairs_tiled
 
         cand_emb = score_fn.encode_graphs([g for g, _ in candidates], batch_size)

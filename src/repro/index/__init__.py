@@ -5,13 +5,20 @@ from repro.index.embedding_index import (
     Hit,
     graph_fingerprint,
     model_fingerprint,
+    ranked_hits,
     score_pairs_tiled,
+    validate_k,
 )
+from repro.index.sharded import ShardedEmbeddingIndex, open_index
 
 __all__ = [
     "EmbeddingIndex",
     "Hit",
+    "ShardedEmbeddingIndex",
     "graph_fingerprint",
     "model_fingerprint",
+    "open_index",
+    "ranked_hits",
     "score_pairs_tiled",
+    "validate_k",
 ]

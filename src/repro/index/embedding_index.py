@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import numbers
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -106,13 +107,14 @@ def graph_fingerprint(graph: ProgramGraph) -> str:
     """
     h = hashlib.sha256()
     h.update(graph.source_language.encode())
-    for text in graph.node_texts:
-        h.update(text.encode())
-        h.update(b"\x00")
+    # One update over a joined buffer per text list (identical byte stream
+    # to per-text updates, so digests are stable): hashing is on the
+    # serving hot path, where per-node update() calls dominated.
+    if graph.node_texts:
+        h.update(("\x00".join(graph.node_texts) + "\x00").encode())
     h.update(b"\x01")
-    for full in graph.node_full_texts:
-        h.update(full.encode())
-        h.update(b"\x00")
+    if graph.node_full_texts:
+        h.update(("\x00".join(graph.node_full_texts) + "\x00").encode())
     h.update(np.asarray(graph.node_types, dtype=np.int64).tobytes())
     for rel in sorted(graph.edges):
         h.update(rel.encode())
@@ -131,6 +133,60 @@ class Hit:
     score: float
     meta: dict = field(default_factory=dict)
     key: str = ""
+
+
+def validate_k(k: Optional[int]) -> None:
+    """Reject non-positive ``k`` loudly.
+
+    ``order[:k]`` with a negative ``k`` would silently drop the *top* hits
+    from the end of the ranking instead of erroring — the worst possible
+    failure mode for a retrieval API.  Any integral type (NumPy ints
+    included) is fine; bools and floats are not.
+    """
+    if k is None:
+        return
+    if not isinstance(k, numbers.Integral) or isinstance(k, bool) or k < 1:
+        raise ValueError(f"k must be a positive integer or None, got {k!r}")
+
+
+def normalize_query_batch(
+    graphs: Optional[Sequence[ProgramGraph]],
+    embeddings: Optional[np.ndarray],
+    dim: int,
+) -> "Tuple[Optional[np.ndarray], int]":
+    """Validate the graphs-xor-embeddings contract shared by both indexes.
+
+    Returns ``(embedding matrix or None, query count)``; raises on
+    both/neither arguments or an embedding-width mismatch.
+    """
+    if (graphs is None) == (embeddings is None):
+        raise ValueError("pass exactly one of graphs / embeddings")
+    if embeddings is None:
+        return None, len(graphs)
+    q = np.atleast_2d(np.asarray(embeddings, dtype=np.float32))
+    if q.shape[1] != dim:
+        raise ValueError(f"query embeddings have dim {q.shape[1]}, index has {dim}")
+    return q, q.shape[0]
+
+
+def ranked_hits(
+    scores: np.ndarray,
+    keys: Sequence[str],
+    metas: Sequence[dict],
+    k: Optional[int],
+) -> List[Hit]:
+    """Descending-score :class:`Hit` list (all entries when ``k`` is None).
+
+    The one ranking implementation shared by :class:`EmbeddingIndex` and
+    :class:`~repro.index.sharded.ShardedEmbeddingIndex`, so the two always
+    break ties identically (stable argsort by entry position).
+    """
+    order = np.argsort(-scores, kind="stable")
+    if k is not None:
+        order = order[:k]
+    return [
+        Hit(int(i), float(scores[i]), dict(metas[i]), keys[i]) for i in order
+    ]
 
 
 class EmbeddingIndex:
@@ -166,6 +222,11 @@ class EmbeddingIndex:
     def __len__(self) -> int:
         """Number of indexed entries."""
         return len(self._keys)
+
+    @property
+    def keys(self) -> List[str]:
+        """Entry content-hash keys, in insertion order (a copy)."""
+        return list(self._keys)
 
     @property
     def metas(self) -> List[dict]:
@@ -224,6 +285,49 @@ class EmbeddingIndex:
         self._matrix = None
         return keys
 
+    def add_precomputed(
+        self,
+        keys: Sequence[str],
+        embeddings: np.ndarray,
+        metas: Optional[Sequence[dict]] = None,
+    ) -> None:
+        """Append entries whose embeddings were already computed.
+
+        Used when re-arranging existing indexes — sharding a monolithic
+        index, merging shards — where re-encoding would both waste encoder
+        passes and (because batch composition perturbs float accumulation
+        order) break bit-exact score parity with the original index.
+        """
+        embeddings = np.atleast_2d(np.asarray(embeddings, dtype=np.float32))
+        if metas is None:
+            metas = [{} for _ in keys]
+        if len(keys) != embeddings.shape[0] or len(keys) != len(metas):
+            raise ValueError(
+                f"{len(keys)} keys for {embeddings.shape[0]} embeddings "
+                f"and {len(metas)} metas"
+            )
+        if len(keys) and embeddings.shape[1] != self.dim:
+            raise ValueError(
+                f"embeddings have dim {embeddings.shape[1]}, index has {self.dim}"
+            )
+        for key, row in zip(keys, embeddings):
+            self._cache.setdefault(key, row)
+        self._keys.extend(keys)
+        self._metas.extend(dict(m) for m in metas)
+        self._matrix = None
+
+    def seed_embedding_cache(self, keys: Sequence[str], embeddings: np.ndarray) -> None:
+        """Register precomputed ``key → embedding row`` pairs in the cache.
+
+        Adds no entries — only the permanent content-hash cache consulted
+        by :meth:`embed_query` / :meth:`embed_queries` is populated, so
+        queries identical to known graphs skip the encoder.  Rows replace
+        any prior binding for the same key; by contract the values must be
+        identical (same model, same graph), callers only swap storage.
+        """
+        for key, row in zip(keys, embeddings):
+            self._cache[key] = row
+
     def embed_query(self, graph: ProgramGraph) -> np.ndarray:
         """Query embedding ``(2H,)``, cached by content hash like entries.
 
@@ -247,6 +351,42 @@ class EmbeddingIndex:
             self._query_cache.popitem(last=False)
         return embedded
 
+    def embed_queries(
+        self, graphs: Sequence[ProgramGraph], batch_size: int = 32
+    ) -> np.ndarray:
+        """Query embeddings ``(Q, 2H)`` with every uncached graph batched.
+
+        The multi-query analogue of :meth:`embed_query`: all graphs not
+        already cached (as corpus entries or earlier queries) go through
+        **one** :meth:`MatchTrainer.embed_many` call instead of Q encoder
+        invocations — tokenization, graph batching and the segment sorts
+        are per-call overheads, so batching them is where
+        :meth:`topk_batch`'s speedup comes from.
+        """
+        keys = [graph_fingerprint(g) for g in graphs]
+        fresh: Dict[str, ProgramGraph] = {}
+        for key, graph in zip(keys, graphs):
+            if key in self._cache or key in self._query_cache or key in fresh:
+                continue
+            fresh[key] = graph
+        if fresh:
+            embedded = self.trainer.embed_many(list(fresh.values()), batch_size)
+            for key, row in zip(fresh, embedded):
+                self._query_cache[key] = row
+        self.cache_misses += len(fresh)
+        self.cache_hits += len(graphs) - len(fresh)
+        out = np.empty((len(graphs), self.dim), dtype=np.float32)
+        for i, key in enumerate(keys):
+            if key in self._cache:
+                out[i] = self._cache[key]
+            else:
+                out[i] = self._query_cache[key]
+                self._query_cache.move_to_end(key)
+        # Trim after copying rows out, so query_cache_size=0 still works.
+        while len(self._query_cache) > max(self.query_cache_size, 0):
+            self._query_cache.popitem(last=False)
+        return out
+
     # ------------------------------------------------------------ queries
     def scores(
         self,
@@ -258,17 +398,37 @@ class EmbeddingIndex:
 
         The query goes on the matcher's *left* (binary) side, entries on
         the right (source) side — the orientation ``MatchingPair`` and the
-        training corpus use throughout.
+        training corpus use throughout.  Delegates to :meth:`scores_batch`
+        (one row), so validation, the empty-index short-circuit and
+        caching live in exactly one place.
         """
-        if (graph is None) == (embedding is None):
-            raise ValueError("pass exactly one of graph / embedding")
-        q = embedding if embedding is not None else self.embed_query(graph)
-        q = np.asarray(q, dtype=np.float32).reshape(-1)
-        if q.shape[0] != self.dim:
-            raise ValueError(f"query embedding has dim {q.shape[0]}, index has {self.dim}")
+        if embedding is not None:
+            embedding = np.asarray(embedding, dtype=np.float32).reshape(1, -1)
+        return self.scores_batch(
+            None if graph is None else [graph], embeddings=embedding
+        )[0]
+
+    def scores_batch(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]] = None,
+        *,
+        embeddings: Optional[np.ndarray] = None,
+        batch_size: int = 32,
+    ) -> np.ndarray:
+        """All pair-head scores ``(Q, C)`` for Q queries, one tiled pass.
+
+        The batched analogue of :meth:`scores`: queries are encoded
+        together (:meth:`embed_queries`) and scored against the whole
+        corpus in a single :func:`score_pairs_tiled` call.
+        """
+        q, num_q = normalize_query_batch(graphs, embeddings, self.dim)
         if not self._keys:
-            return np.zeros(0, dtype=np.float32)
-        return score_pairs_tiled(self.trainer, q, self.embeddings)[0]
+            return np.zeros((num_q, 0), dtype=np.float32)
+        if q is None:
+            if num_q == 0:
+                return np.zeros((0, len(self._keys)), dtype=np.float32)
+            q = self.embed_queries(graphs, batch_size)
+        return score_pairs_tiled(self.trainer, q, self.embeddings)
 
     def topk(
         self,
@@ -278,14 +438,27 @@ class EmbeddingIndex:
         embedding: Optional[np.ndarray] = None,
     ) -> List[Hit]:
         """Top-k entries by descending score (all entries when k is None)."""
+        validate_k(k)
         scores = self.scores(graph, embedding=embedding)
-        order = np.argsort(-scores, kind="stable")
-        if k is not None:
-            order = order[:k]
-        return [
-            Hit(int(i), float(scores[i]), dict(self._metas[i]), self._keys[i])
-            for i in order
-        ]
+        return ranked_hits(scores, self._keys, self._metas, k)
+
+    def topk_batch(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]] = None,
+        k: Optional[int] = None,
+        *,
+        embeddings: Optional[np.ndarray] = None,
+        batch_size: int = 32,
+    ) -> List[List[Hit]]:
+        """Per-query top-k hit lists for Q queries in one batched pass.
+
+        Rankings match Q separate :meth:`topk` calls (same scores, same
+        stable tie-breaks); the win is running one batched encoder pass
+        and one tiled pair-head pass instead of Q of each.
+        """
+        validate_k(k)
+        scores = self.scores_batch(graphs, embeddings=embeddings, batch_size=batch_size)
+        return [ranked_hits(row, self._keys, self._metas, k) for row in scores]
 
     # -------------------------------------------------------- persistence
     def save(self, path: PathLike) -> str:

@@ -1,0 +1,489 @@
+"""Sharded embedding index: a corpus split across lazily-loaded ``.npz`` shards.
+
+:class:`~repro.index.embedding_index.EmbeddingIndex` keeps one monolithic
+archive fully resident, which is the right shape for a benchmark run and
+the wrong one for a long-lived retrieval service: corpora grow
+incrementally (new shards, merged indexes from other machines) and a
+process should not pay to materialize embeddings it never scores.
+
+:class:`ShardedEmbeddingIndex` is a directory::
+
+    index_dir/
+      manifest.json     # schema + model fingerprint + per-shard entry counts
+      shard-0000.npz    # each shard is a plain EmbeddingIndex archive
+      shard-0001.npz
+      ...
+
+* the manifest is fingerprint-validated against the trainer exactly like a
+  monolithic archive (same weight/tokenizer hash, same dim/pair_features
+  checks), and every shard re-checks its own recorded fingerprint against
+  the manifest when it is first touched;
+* shards load lazily — :meth:`open` reads only the manifest, and a query
+  materializes just the shards it scores (all of them for a whole-corpus
+  query, a subset via ``shards=``);
+* :meth:`add_shard` appends a new shard (from graphs, or from a prebuilt
+  :class:`EmbeddingIndex`) and :meth:`merge` absorbs another sharded
+  index's shards, both without rewriting existing shard files;
+* scoring concatenates shard matrices in shard order and runs the exact
+  same tiled pair-head pass as the monolithic index, so an index sharded
+  with :meth:`from_index` returns **bit-identical** scores and rankings.
+
+Entry positions are global: ``Hit.index`` counts across shards in manifest
+order, matching the monolithic index the shards came from.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graphs.programl import ProgramGraph
+from repro.index.embedding_index import (
+    _META_KEY,
+    EmbeddingIndex,
+    Hit,
+    graph_fingerprint,
+    model_fingerprint,
+    normalize_query_batch,
+    ranked_hits,
+    score_pairs_tiled,
+    validate_k,
+)
+
+PathLike = Union[str, Path]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "sharded-embedding-index-v1"
+
+
+_SHARD_GLOB = "shard-*.npz"
+
+
+def _shard_name(position: int) -> str:
+    return f"shard-{position:04d}.npz"
+
+
+class _Shard:
+    """One resident shard: aligned keys, metas and embedding rows."""
+
+    __slots__ = ("keys", "metas", "embeddings")
+
+    def __init__(self, keys: List[str], metas: List[dict], embeddings: np.ndarray):
+        self.keys = keys
+        self.metas = metas
+        self.embeddings = embeddings
+
+
+class ShardedEmbeddingIndex:
+    """Multi-shard, lazily-loaded variant of :class:`EmbeddingIndex`."""
+
+    def __init__(self, trainer, root: PathLike, manifest: dict):  # noqa: D107
+        if trainer.model is None:
+            raise ValueError("trainer has no trained model")
+        self.trainer = trainer
+        self.root = Path(root)
+        self.dim = 2 * trainer.config.hidden_dim
+        self._manifest = manifest
+        self._shards: List[Optional[_Shard]] = [None] * len(manifest["shards"])
+        # Whole-corpus gather cache (matrix, keys, metas) — rebuilt after
+        # add_shard/merge so queries pay the flattening once, not per call.
+        self._flat: Optional[Tuple[np.ndarray, List[str], List[dict]]] = None
+        # Query embeddings are cached exactly like the monolithic index's:
+        # an entry-less EmbeddingIndex is that cache (embed_query /
+        # embed_queries, bounded LRU, duplicate batching) verbatim.
+        self._encoder = EmbeddingIndex(trainer)
+
+    # ------------------------------------------------------- construction
+    @classmethod
+    def create(
+        cls,
+        trainer,
+        root: PathLike,
+        tag: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> "ShardedEmbeddingIndex":
+        """Start an empty sharded index at ``root`` (created if missing).
+
+        An existing sharded index at ``root`` is an error unless
+        ``overwrite`` is set, in which case its manifest and shard files
+        (and nothing else) are removed first.
+        """
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        if (root / MANIFEST_NAME).exists():
+            if not overwrite:
+                raise ValueError(f"{root} already holds a sharded index")
+            for shard in root.glob(_SHARD_GLOB):
+                shard.unlink()
+            (root / MANIFEST_NAME).unlink()
+        index = cls(
+            trainer,
+            root,
+            {
+                "format": _FORMAT,
+                "dim": 2 * trainer.config.hidden_dim,
+                "pair_features": trainer.config.pair_features,
+                "model_sha": model_fingerprint(trainer),
+                "tag": tag,
+                "shards": [],
+            },
+        )
+        index._write_manifest()
+        return index
+
+    @classmethod
+    def open(cls, root: PathLike, trainer) -> "ShardedEmbeddingIndex":
+        """Open an existing sharded index, validating it against ``trainer``.
+
+        Only the manifest is read; shard arrays stay on disk until a query
+        touches them.
+        """
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ValueError(f"{root} is not a sharded index (no {MANIFEST_NAME})")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("format") != _FORMAT:
+            raise ValueError(f"{manifest_path} is not a sharded index manifest")
+        index = cls(trainer, root, manifest)
+        if (
+            manifest["dim"] != index.dim
+            or manifest["pair_features"] != trainer.config.pair_features
+        ):
+            raise ValueError(
+                f"index built for dim={manifest['dim']}/"
+                f"pair_features={manifest['pair_features']!r}, trainer has "
+                f"dim={index.dim}/pair_features={trainer.config.pair_features!r}"
+            )
+        if manifest["model_sha"] != model_fingerprint(trainer):
+            raise ValueError(
+                f"{root} was built by a different model (weight/tokenizer "
+                "fingerprint mismatch); rebuild the index with this checkpoint"
+            )
+        return index
+
+    @classmethod
+    def from_index(
+        cls,
+        index: EmbeddingIndex,
+        root: PathLike,
+        shard_entries: int,
+        tag: Optional[str] = None,
+        overwrite: bool = False,
+    ) -> "ShardedEmbeddingIndex":
+        """Shard a monolithic index into ``shard_entries``-sized pieces.
+
+        Embeddings are copied, never re-encoded, so the sharded index
+        scores bit-identically to ``index``.  ``overwrite`` replaces an
+        existing sharded index at ``root`` (see :meth:`create`).
+        """
+        if shard_entries < 1:
+            raise ValueError(f"shard_entries must be >= 1, got {shard_entries}")
+        sharded = cls.create(
+            index.trainer,
+            root,
+            tag=tag if tag is not None else index.tag,
+            overwrite=overwrite,
+        )
+        keys, metas, matrix = index._keys, index._metas, index.embeddings
+        for start in range(0, len(keys), shard_entries):
+            stop = start + shard_entries
+            piece = EmbeddingIndex(index.trainer)
+            piece.add_precomputed(keys[start:stop], matrix[start:stop], metas[start:stop])
+            sharded.add_shard(index=piece)
+        return sharded
+
+    # ------------------------------------------------------------- sizing
+    def __len__(self) -> int:
+        """Total entries across all shards (manifest counts, no loading)."""
+        return sum(s["entries"] for s in self._manifest["shards"])
+
+    @property
+    def num_shards(self) -> int:
+        """How many shards the manifest records."""
+        return len(self._manifest["shards"])
+
+    @property
+    def resident_shards(self) -> int:
+        """How many shards are currently materialized in memory."""
+        return sum(1 for s in self._shards if s is not None)
+
+    @property
+    def tag(self) -> Optional[str]:
+        """Caller-set corpus identity, persisted in the manifest."""
+        return self._manifest.get("tag")
+
+    def set_tag(self, tag: Optional[str]) -> None:
+        """Update the persisted tag."""
+        self._manifest["tag"] = tag
+        self._write_manifest()
+
+    # ------------------------------------------------------------ loading
+    def _write_manifest(self) -> None:
+        tmp = self.root / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
+        os.replace(tmp, self.root / MANIFEST_NAME)
+
+    def _load_shard(self, position: int) -> _Shard:
+        entry = self._manifest["shards"][position]
+        path = self.root / entry["file"]
+        with np.load(path) as archive:
+            if _META_KEY not in archive.files or "embeddings" not in archive.files:
+                raise ValueError(f"{path} is not an EmbeddingIndex archive")
+            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+            embeddings = archive["embeddings"].astype(np.float32)
+        if meta.get("model_sha") != self._manifest["model_sha"]:
+            raise ValueError(
+                f"{path} was built by a different model than this index's "
+                "manifest records; the shard set is inconsistent"
+            )
+        if embeddings.shape != (entry["entries"], self._manifest["dim"]):
+            raise ValueError(
+                f"{path} is corrupt: {embeddings.shape} embeddings for "
+                f"{entry['entries']} manifest entries of dim {self._manifest['dim']}"
+            )
+        return _Shard(list(meta["keys"]), [dict(m) for m in meta["metas"]], embeddings)
+
+    def _ensure(self, position: int) -> _Shard:
+        if self._shards[position] is None:
+            self._shards[position] = self._load_shard(position)
+        return self._shards[position]
+
+    def _resolve_shards(self, shards: Optional[Sequence[int]]) -> List[int]:
+        if shards is None:
+            return list(range(self.num_shards))
+        out = []
+        for s in shards:
+            if not 0 <= s < self.num_shards:
+                raise ValueError(f"no shard {s} (index has {self.num_shards})")
+            out.append(int(s))
+        return out
+
+    def _gather(
+        self, shards: Optional[Sequence[int]]
+    ) -> Tuple[np.ndarray, List[str], List[dict]]:
+        """Concatenated (embeddings, keys, metas) over the selected shards.
+
+        The whole-corpus case (``shards=None`` — the serving hot path) is
+        cached until the shard set changes.
+        """
+        if shards is None and self._flat is not None:
+            return self._flat
+        loaded = [self._ensure(p) for p in self._resolve_shards(shards)]
+        if not loaded:
+            matrix = np.zeros((0, self.dim), dtype=np.float32)
+        else:
+            matrix = np.concatenate([s.embeddings for s in loaded], axis=0)
+        keys = [k for s in loaded for k in s.keys]
+        gathered = (matrix, keys, [m for s in loaded for m in s.metas])
+        if shards is None:
+            # The flat matrix becomes the one canonical copy: re-point each
+            # shard's rows at views into it (freeing the per-shard arrays)
+            # and seed the query-encoder cache so queries identical to
+            # indexed entries skip the encoder, like the monolithic index.
+            offset = 0
+            for shard in loaded:
+                n = shard.embeddings.shape[0]
+                shard.embeddings = matrix[offset : offset + n]
+                offset += n
+            self._encoder.seed_embedding_cache(keys, matrix)
+            self._flat = gathered
+        return gathered
+
+    # ------------------------------------------------------------ growing
+    def add_shard(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]] = None,
+        metas: Optional[Sequence[dict]] = None,
+        *,
+        index: Optional[EmbeddingIndex] = None,
+        batch_size: int = 32,
+    ) -> str:
+        """Append one shard and return its file name.
+
+        Pass either ``graphs`` (encoded here, through the shared query
+        cache so duplicates of already-seen graphs skip the encoder) or a
+        prebuilt ``index`` whose embeddings are written as-is.
+        """
+        if (graphs is None) == (index is None):
+            raise ValueError("pass exactly one of graphs / index")
+        if graphs is not None:
+            if len(graphs) == 0:
+                raise ValueError("a shard needs at least one entry")
+            if metas is None:
+                metas = [{} for _ in graphs]
+            if len(metas) != len(graphs):
+                raise ValueError("metas must match graphs 1:1")
+            keys = [graph_fingerprint(g) for g in graphs]
+            rows = self._encoder.embed_queries(list(graphs), batch_size)
+            index = EmbeddingIndex(self.trainer)
+            index.add_precomputed(keys, rows, list(metas))
+        elif metas is not None:
+            raise ValueError("metas only applies to the graphs form")
+        if len(index) == 0:
+            raise ValueError("a shard needs at least one entry")
+        if index.trainer is not self.trainer and (
+            model_fingerprint(index.trainer) != self._manifest["model_sha"]
+        ):
+            raise ValueError(
+                "shard was built by a different model (weight/tokenizer "
+                "fingerprint mismatch)"
+            )
+        if index.dim != self.dim:
+            raise ValueError(f"shard has dim {index.dim}, index has {self.dim}")
+        name = _shard_name(self.num_shards)
+        index.save(self.root / name)
+        self._manifest["shards"].append({"file": name, "entries": len(index)})
+        self._write_manifest()
+        resident = _Shard(
+            list(index._keys), [dict(m) for m in index._metas], index.embeddings.copy()
+        )
+        self._shards.append(resident)
+        self._encoder.seed_embedding_cache(resident.keys, resident.embeddings)
+        self._flat = None
+        return name
+
+    def merge(self, other: "ShardedEmbeddingIndex") -> None:
+        """Absorb every shard of ``other`` (copied, renumbered) into self."""
+        if other is self or other.root.resolve() == self.root.resolve():
+            raise ValueError("cannot merge a sharded index into itself")
+        if other._manifest["model_sha"] != self._manifest["model_sha"]:
+            raise ValueError(
+                "cannot merge: indexes were built by different models "
+                "(weight/tokenizer fingerprint mismatch)"
+            )
+        if other._manifest["dim"] != self._manifest["dim"] or (
+            other._manifest["pair_features"] != self._manifest["pair_features"]
+        ):
+            raise ValueError("cannot merge: embedding shapes differ")
+        for position, entry in enumerate(list(other._manifest["shards"])):
+            name = _shard_name(self.num_shards)
+            shutil.copyfile(other.root / entry["file"], self.root / name)
+            self._manifest["shards"].append({"file": name, "entries": entry["entries"]})
+            self._shards.append(other._shards[position])
+        self._write_manifest()
+        self._flat = None
+
+    # ------------------------------------------------------------ queries
+    @property
+    def embeddings(self) -> np.ndarray:
+        """All entry embeddings ``(C, 2H)`` in global order (loads all)."""
+        return self._gather(None)[0]
+
+    @property
+    def keys(self) -> List[str]:
+        """All entry keys in global order (loads all shards)."""
+        return self._gather(None)[1]
+
+    @property
+    def metas(self) -> List[dict]:
+        """Per-entry metadata copies in global order (loads all shards)."""
+        return [dict(m) for m in self._gather(None)[2]]
+
+    def _scored_batch(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]],
+        embeddings: Optional[np.ndarray],
+        batch_size: int,
+        shards: Optional[Sequence[int]],
+    ) -> Tuple[np.ndarray, List[str], List[dict]]:
+        """One gather + one scoring pass: ``((Q, C) scores, keys, metas)``.
+
+        The single implementation behind :meth:`scores`,
+        :meth:`scores_batch`, :meth:`topk` and :meth:`topk_batch`, so the
+        shard concatenation and metadata flattening happen once per call.
+        """
+        q, num_q = normalize_query_batch(graphs, embeddings, self.dim)
+        if len(self) == 0:
+            return np.zeros((num_q, 0), dtype=np.float32), [], []
+        matrix, keys, metas = self._gather(shards)
+        if num_q == 0 or matrix.shape[0] == 0:
+            return (
+                np.zeros((num_q, matrix.shape[0]), dtype=np.float32),
+                keys,
+                metas,
+            )
+        if q is None:
+            q = self._encoder.embed_queries(graphs, batch_size)
+        return score_pairs_tiled(self.trainer, q, matrix), keys, metas
+
+    def scores(
+        self,
+        graph: Optional[ProgramGraph] = None,
+        *,
+        embedding: Optional[np.ndarray] = None,
+        shards: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Pair-head scores against every (selected-shard) entry."""
+        if embedding is not None:
+            embedding = np.asarray(embedding, dtype=np.float32).reshape(1, -1)
+        scores, _, _ = self._scored_batch(
+            None if graph is None else [graph], embedding, 32, shards
+        )
+        return scores[0]
+
+    def scores_batch(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]] = None,
+        *,
+        embeddings: Optional[np.ndarray] = None,
+        batch_size: int = 32,
+        shards: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """All pair-head scores ``(Q, C)``, one batched encode + one pass."""
+        scores, _, _ = self._scored_batch(graphs, embeddings, batch_size, shards)
+        return scores
+
+    def topk(
+        self,
+        graph: Optional[ProgramGraph] = None,
+        k: Optional[int] = None,
+        *,
+        embedding: Optional[np.ndarray] = None,
+        shards: Optional[Sequence[int]] = None,
+    ) -> List[Hit]:
+        """Top-k entries by descending score (all entries when k is None).
+
+        ``Hit.index`` is the position within the scored entry set: global
+        when ``shards`` is None, shard-subset-relative otherwise.
+        """
+        validate_k(k)
+        if embedding is not None:
+            embedding = np.asarray(embedding, dtype=np.float32).reshape(1, -1)
+        scores, keys, metas = self._scored_batch(
+            None if graph is None else [graph], embedding, 32, shards
+        )
+        return ranked_hits(scores[0], keys, metas, k)
+
+    def topk_batch(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]] = None,
+        k: Optional[int] = None,
+        *,
+        embeddings: Optional[np.ndarray] = None,
+        batch_size: int = 32,
+        shards: Optional[Sequence[int]] = None,
+    ) -> List[List[Hit]]:
+        """Per-query top-k hit lists for Q queries in one batched pass."""
+        validate_k(k)
+        scores, keys, metas = self._scored_batch(
+            graphs, embeddings, batch_size, shards
+        )
+        return [ranked_hits(row, keys, metas, k) for row in scores]
+
+
+def open_index(path: PathLike, trainer):
+    """Open either index flavor: a sharded directory or a monolithic ``.npz``.
+
+    The CLI's loader: ``repro serve`` and ``repro index query`` accept
+    both, dispatching on what is actually on disk.
+    """
+    p = Path(path)
+    if p.is_dir() or (p / MANIFEST_NAME).exists():
+        return ShardedEmbeddingIndex.open(p, trainer)
+    return EmbeddingIndex.load(path, trainer)

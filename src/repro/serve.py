@@ -1,0 +1,269 @@
+"""JSON-lines retrieval service: the long-lived process behind ``repro serve``.
+
+The paper's end product is a matcher that ranks source candidates for
+binary queries; this module turns the retrieval stack into a service. One
+warm :class:`~repro.core.pipeline.MatcherPipeline` (compilation pipeline +
+optional artifact store) and one warm index — monolithic
+:class:`~repro.index.EmbeddingIndex` or lazily-loaded
+:class:`~repro.index.ShardedEmbeddingIndex` — are shared across every
+request of the process lifetime, and pipelined requests are batched so Q
+queued queries cost one batched encoder pass plus one tiled pair-head
+pass instead of Q of each (see :meth:`EmbeddingIndex.topk_batch`).
+
+Protocol (one JSON object per line, responses in request order)::
+
+    → {"id": "q1", "binary_b64": "<base64 bytes>", "k": 3}
+    → {"id": "q2", "source": "int f() { ... }", "language": "c"}
+    ← {"id": "q1", "hits": [{"rank": 1, "index": 4, "score": 0.93,
+                             "key": "…", "meta": {…}}, …]}
+    ← {"id": "q2", "hits": [...]}
+
+A request is either a binary (``binary_b64``, base64-encoded bytes, run
+through the decompile half of the pipeline) or a source file (``source`` +
+``language``, run through the front-end half).  ``k`` bounds the hit list
+(default: the server's ``default_k``; ``null`` returns the full ranking).
+Malformed requests produce ``{"id": …, "error": "…"}`` responses — the
+server keeps serving.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import io
+import json
+import os
+import select
+from dataclasses import dataclass
+from typing import IO, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import MatcherPipeline
+from repro.core.trainer import MatchTrainer
+from repro.index import validate_k
+
+_QUERY_FIELDS = ("binary_b64", "source")
+
+
+def _fd_ready(fd: int) -> bool:
+    try:
+        ready, _, _ = select.select([fd], [], [], 0)
+    except (OSError, ValueError):
+        return True
+    return bool(ready)
+
+
+def _lines_with_pending(stream) -> Iterator[Tuple[str, bool]]:
+    """Yield ``(line, input_pending)`` pairs from a request stream.
+
+    ``input_pending`` is False exactly when no further complete or partial
+    input is immediately available, which is the server's cue to flush a
+    partial batch: a request/response client that pipelined fewer than a
+    full batch gets its responses instead of a deadlock.
+
+    Selectable streams (pipes, sockets, files) are read directly from the
+    fd with our own line buffer — stdlib text streams read ahead into a
+    hidden buffer that ``select`` cannot see, which would misreport
+    drained-into-buffer lines as "no input pending" and degrade pipelined
+    traffic to batches of one.  Non-selectable streams (StringIO, select-
+    less platforms) fall back to plain iteration with pending always True,
+    relying on batch-size/EOF flushes.
+    """
+    try:
+        fd = stream.fileno()
+        select.select([fd], [], [], 0)
+    except (AttributeError, OSError, ValueError, io.UnsupportedOperation):
+        for line in stream:
+            yield line, True
+        return
+    buf = bytearray()
+    eof = False
+    while True:
+        newline = buf.find(b"\n")
+        while newline >= 0:
+            line = buf[:newline].decode("utf-8", "replace")
+            del buf[: newline + 1]
+            newline = buf.find(b"\n")
+            yield line, newline >= 0 or _fd_ready(fd)
+        if eof:
+            if buf:
+                yield buf.decode("utf-8", "replace"), False
+            return
+        chunk = os.read(fd, 65536)
+        if chunk:
+            buf += chunk
+        else:
+            eof = True
+
+
+@dataclass
+class ServeStats:
+    """What one :meth:`RetrievalServer.serve` loop handled."""
+
+    requests: int = 0
+    batches: int = 0
+    errors: int = 0
+
+
+class RetrievalServer:
+    """Batched request loop over one warm pipeline + index pair."""
+
+    def __init__(
+        self,
+        trainer: MatchTrainer,
+        index,
+        *,
+        batch_size: int = 8,
+        default_k: Optional[int] = 5,
+        store=None,
+    ):  # noqa: D107
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        # Same rule requests are held to: a bad --top-k should fail at
+        # startup, not surface as a per-request "client" error.
+        validate_k(default_k)
+        self.index = index
+        self.batch_size = batch_size
+        self.default_k = default_k
+        self.pipeline = MatcherPipeline(trainer, store=store)
+        self.stats = ServeStats()
+
+    # ----------------------------------------------------------- requests
+    def _parse(self, line: str) -> dict:
+        """One JSON line → validated request dict (raises ValueError)."""
+        try:
+            req = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"bad JSON: {exc}") from exc
+        if not isinstance(req, dict):
+            raise ValueError("request must be a JSON object")
+        present = [f for f in _QUERY_FIELDS if f in req]
+        if len(present) != 1:
+            raise ValueError(
+                "request needs exactly one of 'binary_b64' / 'source', "
+                f"got {present or 'neither'}"
+            )
+        if "source" in req and not isinstance(req.get("language"), str):
+            raise ValueError("'source' requests need a 'language' string")
+        k = req.get("k", self.default_k)
+        if k is not None and (isinstance(k, bool) or not isinstance(k, int) or k < 1):
+            raise ValueError(f"'k' must be a positive integer or null, got {k!r}")
+        req["k"] = k
+        return req
+
+    def _query_graph(self, req: dict):
+        """Request → query program graph (raises ValueError)."""
+        name = str(req.get("id", "query"))
+        if "binary_b64" in req:
+            if not isinstance(req["binary_b64"], str):
+                raise ValueError("'binary_b64' must be a base64 string")
+            try:
+                raw = base64.b64decode(req["binary_b64"], validate=True)
+            except (binascii.Error, ValueError) as exc:
+                raise ValueError(f"bad base64 in 'binary_b64': {exc}") from exc
+            try:
+                return self.pipeline.graph_of_binary(raw, name=name)
+            except Exception as exc:
+                raise ValueError(f"binary does not decompile: {exc}") from exc
+        try:
+            return self.pipeline.graph_of_source(req["source"], req["language"])
+        except Exception as exc:
+            raise ValueError(f"source does not compile: {exc}") from exc
+
+    # ------------------------------------------------------------ serving
+    def handle_batch(self, requests: Sequence[dict]) -> List[dict]:
+        """Responses (in request order) for one batch of parsed requests.
+
+        Per-request failures turn into error responses; the surviving
+        queries still share one :meth:`topk_batch` pass.
+        """
+        responses: List[Optional[dict]] = [None] * len(requests)
+        graphs, slots = [], []
+        for i, req in enumerate(requests):
+            try:
+                graphs.append(self._query_graph(req))
+                slots.append(i)
+            except ValueError as exc:
+                responses[i] = {"id": req.get("id"), "error": str(exc)}
+                self.stats.errors += 1
+        if graphs:
+            # One batched pass ranks the whole batch, bounded by the
+            # largest k any request in it asked for (None = full ranking);
+            # per-request k then only trims the shared hit lists.
+            wanted = [requests[slot]["k"] for slot in slots]
+            batch_k = None if any(w is None for w in wanted) else max(wanted)
+            rankings = self.index.topk_batch(graphs, k=batch_k)
+            for slot, hits in zip(slots, rankings):
+                req = requests[slot]
+                if req["k"] is not None:
+                    hits = hits[: req["k"]]
+                responses[slot] = {
+                    "id": req.get("id"),
+                    "hits": [
+                        {
+                            "rank": rank,
+                            "index": hit.index,
+                            "score": hit.score,
+                            "key": hit.key,
+                            "meta": hit.meta,
+                        }
+                        for rank, hit in enumerate(hits, 1)
+                    ],
+                }
+        return [r for r in responses if r is not None]
+
+    def serve(self, in_stream: IO[str], out_stream: IO[str]) -> ServeStats:
+        """Read JSON-lines requests until EOF, writing JSON-lines responses.
+
+        Requests are buffered and flushed ``batch_size`` at a time — and
+        whenever the input runs dry (so a request/response client that
+        pipelined fewer than a full batch is answered immediately, not
+        deadlocked) and at EOF.  Responses always come back in request
+        order; a line that fails to parse flushes the pending batch first
+        so ordering holds.
+
+        ``in_stream`` must be unread: selectable streams are consumed
+        directly from the underlying fd (see :func:`_lines_with_pending`),
+        so lines another reader already pulled into a Python-level stream
+        buffer would be skipped.
+
+        Returns the stats for this loop alone; ``self.stats`` is reset on
+        entry.
+        """
+        self.stats = ServeStats()
+        batch: List[dict] = []
+
+        def flush() -> None:
+            if not batch:
+                return
+            for response in self.handle_batch(batch):
+                out_stream.write(json.dumps(response) + "\n")
+            out_stream.flush()
+            self.stats.batches += 1
+            batch.clear()
+
+        for line, pending in _lines_with_pending(in_stream):
+            line = line.strip()
+            if not line:
+                if not pending:
+                    flush()
+                continue
+            self.stats.requests += 1
+            try:
+                batch.append(self._parse(line))
+            except ValueError as exc:
+                flush()
+                rid = None
+                try:  # echo the id when the line was at least valid JSON
+                    obj = json.loads(line)
+                    if isinstance(obj, dict):
+                        rid = obj.get("id")
+                except json.JSONDecodeError:
+                    pass
+                out_stream.write(json.dumps({"id": rid, "error": str(exc)}) + "\n")
+                out_stream.flush()
+                self.stats.errors += 1
+                continue
+            if len(batch) >= self.batch_size or not pending:
+                flush()
+        flush()
+        return self.stats

@@ -13,7 +13,7 @@ node's instruction string to a sequence of integer ids with
 from __future__ import annotations
 
 import re
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,11 +39,16 @@ def _word_tokens(text: str) -> List[str]:
 class IRTokenizer:
     """Frequency-capped word tokenizer over IR instruction strings."""
 
+    #: Cross-call memo bound: IR instruction shapes are few in practice,
+    #: but a hostile/endless stream must not grow the cache without bound.
+    _CACHE_LIMIT = 1 << 16
+
     def __init__(self, max_vocab: int = 2048):  # noqa: D107
         self.max_vocab = max_vocab
         self.vocab: Dict[str, int] = {PAD: 0, UNK: 1, VAR: 2}
         self.truncation_length: int = 16
         self._trained = False
+        self._encode_cache: Dict[str, List[int]] = {}
 
     # ---------------------------------------------------------- training
     def train(self, texts: Iterable[str]) -> "IRTokenizer":
@@ -65,24 +70,66 @@ class IRTokenizer:
         mean_len = float(np.mean(lengths)) if lengths else 8.0
         self.truncation_length = _next_power_of_two(max(int(np.ceil(mean_len)), 2))
         self._trained = True
+        self._encode_cache.clear()  # ids depend on the (new) vocabulary
         return self
 
     # ---------------------------------------------------------- encoding
     def encode(self, text: str) -> List[int]:
-        """Token ids for one string (no padding)."""
-        unk = self.vocab[UNK]
-        return [self.vocab.get(t, unk) for t in _word_tokens(text)]
+        """Token ids for one string (no padding).
+
+        Results are memoized per distinct string — the vocabulary is
+        frozen outside :meth:`train`, and a long-lived serving process
+        sees the same instruction shapes over and over.  Callers must not
+        mutate the returned list.
+        """
+        ids = self._encode_cache.get(text)
+        if ids is None:
+            unk = self.vocab[UNK]
+            ids = [self.vocab.get(t, unk) for t in _word_tokens(text)]
+            if len(self._encode_cache) >= self._CACHE_LIMIT:
+                self._encode_cache.clear()
+            self._encode_cache[text] = ids
+        return ids
+
+    def encode_unique(
+        self, texts: Sequence[str], length: Optional[int] = None
+    ) -> "Tuple[np.ndarray, np.ndarray]":
+        """Deduplicated encode: ``(unique (U, L) id matrix, (N,) inverse)``.
+
+        IR node strings repeat heavily — a handful of instruction shapes
+        cover most nodes, and batching many graphs multiplies the repeats
+        (a 32-graph batch is typically ~85% duplicates) — so each distinct
+        string is tokenized once; ``matrix[inverse]`` reconstructs the
+        per-text rows.  Consumers that can work on unique rows directly
+        (:meth:`GraphBinMatch.node_features`) skip the fan-out entirely.
+        """
+        length = length or self.truncation_length
+        index_of: Dict[str, int] = {}
+        uniques: List[str] = []
+        # Collect inverse positions in a plain list: per-element numpy
+        # assignment is ~10x slower than list.append on this hot path.
+        positions: List[int] = []
+        append = positions.append
+        get = index_of.get
+        for text in texts:
+            j = get(text)
+            if j is None:
+                j = index_of[text] = len(uniques)
+                uniques.append(text)
+            append(j)
+        inverse = np.asarray(positions, dtype=np.int64)
+        mat = np.zeros((len(uniques), length), dtype=np.int64)  # 0 == PAD
+        for j, text in enumerate(uniques):
+            ids = self.encode(text)[:length]
+            mat[j, : len(ids)] = ids
+        return mat, inverse
 
     def encode_batch(
         self, texts: Sequence[str], length: Optional[int] = None
     ) -> np.ndarray:
         """Encode many strings to a padded/truncated ``(N, L)`` id matrix."""
-        length = length or self.truncation_length
-        out = np.zeros((len(texts), length), dtype=np.int64)  # 0 == PAD
-        for i, text in enumerate(texts):
-            ids = self.encode(text)[:length]
-            out[i, : len(ids)] = ids
-        return out
+        mat, inverse = self.encode_unique(texts, length)
+        return mat[inverse]
 
     @property
     def vocab_size(self) -> int:

@@ -109,6 +109,25 @@ class TestIndexParser:
             build_parser().parse_args(["index"])
 
 
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve", "model.npz", "index.npz"])
+        assert args.command == "serve"
+        assert args.batch == 8
+        assert args.top_k == 5
+        assert args.store is None
+
+    def test_index_build_shard_size(self):
+        args = build_parser().parse_args(
+            ["index", "build", "model.npz", "--shard-size", "4"]
+        )
+        assert args.shard_size == 4
+
+    def test_requires_index(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "model.npz"])
+
+
 class TestCorpusParser:
     def test_build_defaults(self):
         args = build_parser().parse_args(["corpus", "build"])
@@ -227,3 +246,97 @@ class TestIndexCommands:
         # three ranked lines with scores
         ranked = [l for l in out.splitlines() if l.strip().startswith(("1.", "2.", "3."))]
         assert len(ranked) == 3
+
+    @pytest.fixture(scope="class")
+    def sharded_path(self, checkpoint, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-index") / "sharded"
+        rc = main([
+            "index", "build", str(checkpoint),
+            "--output", str(path),
+            "--num-tasks", "6",
+            "--variants", "1",
+            "--shard-size", "2",
+        ])
+        assert rc == 0
+        return path
+
+    def test_build_sharded_directory(self, sharded_path):
+        assert (sharded_path / "manifest.json").exists()
+        assert (sharded_path / "shard-0000.npz").exists()
+
+    def test_negative_shard_size_rejected(self, checkpoint, tmp_path):
+        """A negative --shard-size must error, not silently go monolithic."""
+        with pytest.raises(ValueError, match="shard_entries"):
+            main([
+                "index", "build", str(checkpoint),
+                "--output", str(tmp_path / "idx"),
+                "--num-tasks", "4", "--variants", "1",
+                "--shard-size", "-2",
+            ])
+
+    def test_rebuild_sharded_overwrites(self, checkpoint, sharded_path):
+        """Re-running index build on the same directory must not crash."""
+        rc = main([
+            "index", "build", str(checkpoint),
+            "--output", str(sharded_path),
+            "--num-tasks", "4",
+            "--variants", "1",
+            "--shard-size", "3",
+        ])
+        assert rc == 0
+        import json as json_mod
+
+        manifest = json_mod.loads((sharded_path / "manifest.json").read_text())
+        # Old shard files from the size-2 build are gone, not orphaned.
+        on_disk = sorted(p.name for p in sharded_path.glob("shard-*.npz"))
+        assert on_disk == sorted(s["file"] for s in manifest["shards"])
+
+    def test_query_sharded_index(self, checkpoint, sharded_path, capsys):
+        rc = main([
+            "index", "query", str(checkpoint), str(sharded_path),
+            "--task", "gcd", "--language", "c", "--top-k", "2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        ranked = [l for l in out.splitlines() if l.strip().startswith(("1.", "2."))]
+        assert len(ranked) == 2
+
+    def test_serve_command_round_trip(
+        self, checkpoint, index_path, capsys, monkeypatch
+    ):
+        """repro serve: JSON-lines in on stdin, ranked hits out on stdout."""
+        import io
+        import json
+        import sys
+
+        from repro.core.pipeline import compile_to_views
+        from repro.lang.generator import SolutionGenerator
+
+        import base64
+
+        sf = SolutionGenerator(seed=0, independent=True).generate("gcd", 0, "c")
+        views = compile_to_views(sf.text, "c", name=sf.identifier)
+        requests = "".join(
+            json.dumps(r) + "\n"
+            for r in (
+                {
+                    "id": "bin",
+                    "binary_b64": base64.b64encode(views.binary_bytes).decode(),
+                    "k": 3,
+                },
+                {"id": "src", "source": sf.text, "language": "c", "k": 2},
+                {"id": "oops"},
+            )
+        )
+        monkeypatch.setattr(sys, "stdin", io.StringIO(requests))
+        rc = main([
+            "serve", str(checkpoint), str(index_path), "--batch", "2",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        lines = [json.loads(l) for l in captured.out.splitlines()]
+        assert [l["id"] for l in lines] == ["bin", "src", "oops"]
+        assert len(lines[0]["hits"]) == 3
+        assert len(lines[1]["hits"]) == 2
+        assert "error" in lines[2]
+        assert "served 3 requests" in captured.err

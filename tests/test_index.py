@@ -174,6 +174,39 @@ class TestIndexParity:
         with pytest.raises(ValueError):
             EmbeddingIndex(MatchTrainer(cpu_config()))
 
+    @pytest.mark.parametrize("bad_k", [-1, 0, -5, 2.5, True])
+    def test_non_positive_k_rejected(self, bad_k, trained, corpus):
+        """k=-1 used to silently drop the *top* hit via order[:-1]."""
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        with pytest.raises(ValueError, match="positive integer"):
+            index.topk(c[0].decompiled_graph, k=bad_k)
+        with pytest.raises(ValueError, match="positive integer"):
+            index.topk_batch([c[0].decompiled_graph], k=bad_k)
+
+    def test_numpy_integer_k_accepted(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:3]])
+        assert len(index.topk(c[0].decompiled_graph, k=np.int64(2))) == 2
+
+    def test_k_beyond_index_returns_all(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:3]])
+        assert len(index.topk(c[0].decompiled_graph, k=100)) == 3
+
+    def test_empty_index_topk_skips_encoder(self, trained, corpus):
+        """Scoring an empty index must not pay a GNN forward for zeros(0)."""
+        c, _ = corpus
+        index = EmbeddingIndex(trained)
+        before = trained.model.encoder_graph_count
+        assert index.scores(c[0].decompiled_graph).shape == (0,)
+        assert index.topk(c[0].decompiled_graph, k=5) == []
+        assert index.topk_batch([c[0].decompiled_graph], k=5) == [[]]
+        assert trained.model.encoder_graph_count == before
+
     def test_query_arg_validation(self, trained, corpus):
         _, j = corpus
         index = EmbeddingIndex(trained)
@@ -184,6 +217,94 @@ class TestIndexParity:
             index.scores(j[0].source_graph, embedding=np.zeros(index.dim))
         with pytest.raises(ValueError):
             index.scores(embedding=np.zeros(3))
+
+
+class TestBatchedQueries:
+    """topk_batch / scores_batch: one batched pass, per-query semantics."""
+
+    def test_matches_per_query_loop(self, trained, corpus):
+        c, j = corpus
+        candidates = [s.source_graph for s in j]
+        queries = [s.decompiled_graph for s in c[:4]]
+        loop_index = EmbeddingIndex(trained)
+        loop_index.add(candidates, metas=[{"id": s.identifier} for s in j])
+        batch_index = EmbeddingIndex(trained)
+        batch_index.add(candidates, metas=[{"id": s.identifier} for s in j])
+        per_query = [loop_index.topk(q, k=5) for q in queries]
+        batched = batch_index.topk_batch(queries, k=5)
+        assert [[h.index for h in hits] for hits in batched] == [
+            [h.index for h in hits] for hits in per_query
+        ]
+        assert [[h.meta for h in hits] for hits in batched] == [
+            [h.meta for h in hits] for hits in per_query
+        ]
+        for loop_hits, batch_hits in zip(per_query, batched):
+            np.testing.assert_allclose(
+                [h.score for h in batch_hits], [h.score for h in loop_hits], atol=1e-5
+            )
+
+    def test_warm_cache_parity_is_exact(self, trained, corpus):
+        """With query embeddings cached, both paths are bit-identical."""
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j])
+        queries = [s.decompiled_graph for s in c[:3]]
+        batched = index.scores_batch(queries)  # caches the query embeddings
+        for row, q in zip(batched, queries):
+            np.testing.assert_array_equal(index.scores(q), row)
+
+    def test_embed_queries_one_encoder_invocation(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:3]])
+        queries = [s.decompiled_graph for s in c[:4]]
+        trained.model.encoder_graph_count = 0
+        emb = index.embed_queries(queries)
+        assert emb.shape == (4, index.dim)
+        assert trained.model.encoder_graph_count == 4  # one batch, no repeats
+        index.embed_queries(queries)  # all cached now
+        assert trained.model.encoder_graph_count == 4
+
+    def test_duplicate_queries_encoded_once(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        q = c[0].decompiled_graph
+        trained.model.encoder_graph_count = 0
+        emb = index.embed_queries([q, q, q])
+        assert trained.model.encoder_graph_count == 1
+        np.testing.assert_array_equal(emb[0], emb[1])
+        np.testing.assert_array_equal(emb[0], emb[2])
+
+    def test_empty_query_list(self, trained, corpus):
+        _, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        assert index.topk_batch([], k=3) == []
+        assert index.scores_batch([]).shape == (0, 1)
+
+    def test_scores_batch_arg_validation(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([j[0].source_graph])
+        with pytest.raises(ValueError):
+            index.scores_batch()
+        with pytest.raises(ValueError):
+            index.scores_batch(
+                [c[0].decompiled_graph], embeddings=np.zeros((1, index.dim))
+            )
+        with pytest.raises(ValueError):
+            index.scores_batch(embeddings=np.zeros((2, 3)))
+
+    def test_precomputed_embeddings_accepted(self, trained, corpus):
+        c, j = corpus
+        index = EmbeddingIndex(trained)
+        index.add([s.source_graph for s in j[:4]])
+        q = index.embed_queries([s.decompiled_graph for s in c[:2]])
+        np.testing.assert_array_equal(
+            index.scores_batch(embeddings=q),
+            index.scores_batch([s.decompiled_graph for s in c[:2]]),
+        )
 
 
 class TestIndexCache:
@@ -213,6 +334,7 @@ class TestIndexCache:
     def test_query_then_add_promotes_without_reencoding(self, trained, corpus):
         _, j = corpus
         index = EmbeddingIndex(trained)
+        index.add([j[1].source_graph])  # non-empty: queries hit the encoder
         index.scores(j[0].source_graph)  # seen as a query first
         before = trained.model.encoder_graph_count
         index.add([j[0].source_graph])
@@ -465,6 +587,77 @@ class TestPipelineFastPaths:
         index = pipe.source_index(candidates)
         with pytest.raises(ValueError):
             pipe.rank_sources(c[0].binary_bytes, other, index=index)
+
+    def test_rank_sources_batch_matches_loop(self, trained, corpus):
+        c, j = corpus
+        pipe = MatcherPipeline(trained)
+        candidates = [(s.source_text, s.language) for s in j[:5]]
+        index = pipe.source_index(candidates)
+        raws = [c[0].binary_bytes, c[1].binary_bytes]
+        batched = pipe.rank_sources_batch(raws, candidates, index=index)
+        singles = [pipe.rank_sources(raw, candidates, index=index) for raw in raws]
+        assert [[i for i, _ in r] for r in batched] == [
+            [i for i, _ in r] for r in singles
+        ]
+        for batch_row, single_row in zip(batched, singles):
+            np.testing.assert_allclose(
+                [s for _, s in batch_row], [s for _, s in single_row], atol=1e-5
+            )
+
+    def test_rank_sources_batch_validates_index(self, trained, corpus):
+        c, j = corpus
+        pipe = MatcherPipeline(trained)
+        candidates = [(s.source_text, s.language) for s in j[:4]]
+        index = pipe.source_index(candidates)
+        with pytest.raises(ValueError):
+            pipe.rank_sources_batch([c[0].binary_bytes], candidates[:2], index=index)
+
+    def test_evaluate_retrieval_with_index(self, trained, corpus):
+        """A prebuilt candidate index replaces candidate re-encoding."""
+        c, j = corpus
+        queries = retrieval_corpus_from_samples(c[:3], "binary")
+        cands = retrieval_corpus_from_samples(j, "source")
+        index = EmbeddingIndex(trained)
+        index.add([g for g, _ in cands])
+        trained.model.encoder_graph_count = 0
+        via_index = evaluate_retrieval(None, queries, cands, index=index)
+        assert trained.model.encoder_graph_count == len(queries)  # queries only
+        direct = evaluate_retrieval(trained, queries, cands)
+        assert via_index == direct
+
+    def test_evaluate_retrieval_index_size_mismatch(self, trained, corpus):
+        c, j = corpus
+        queries = retrieval_corpus_from_samples(c[:2], "binary")
+        cands = retrieval_corpus_from_samples(j, "source")
+        index = EmbeddingIndex(trained)
+        index.add([cands[0][0]])
+        with pytest.raises(ValueError):
+            evaluate_retrieval(None, queries, cands, index=index)
+        with pytest.raises(ValueError):
+            evaluate_retrieval(None, queries, cands)  # neither scorer nor index
+
+    def test_evaluate_retrieval_foreign_index_with_scorer_rejected(
+        self, trained, corpus
+    ):
+        """score_fn and index from different checkpoints must not mix."""
+        c, j = corpus
+        queries = retrieval_corpus_from_samples(c[:2], "binary")
+        cands = retrieval_corpus_from_samples(j, "source")
+        other = _train(corpus, seed=41)
+        foreign = EmbeddingIndex(other)
+        foreign.add([g for g, _ in cands])
+        with pytest.raises(ValueError, match="different model"):
+            evaluate_retrieval(trained, queries, cands, index=foreign)
+
+    def test_evaluate_retrieval_reordered_index_rejected(self, trained, corpus):
+        """Same size, wrong entry order must not silently mis-attribute."""
+        c, j = corpus
+        queries = retrieval_corpus_from_samples(c[:2], "binary")
+        cands = retrieval_corpus_from_samples(j, "source")
+        reordered = EmbeddingIndex(trained)
+        reordered.add([g for g, _ in reversed(cands)])
+        with pytest.raises(ValueError, match="same order"):
+            evaluate_retrieval(None, queries, cands, index=reordered)
 
     def test_tagless_index_rejected(self, trained, corpus):
         """Hand-built indexes (no candidate tag) are refused, not trusted."""

@@ -303,6 +303,61 @@ class TestColdWarmParallelBuilds:
         assert self._fingerprints(par) == self._fingerprints(ser)
         assert builder.store is None  # scratch store cleaned up
 
+    def test_pool_never_oversubscribes_workers(self, tmp_path, monkeypatch):
+        """Pool size is clamped to the requested worker count.
+
+        Also checks the strided chunking covers every cold item exactly
+        once, so the clamp does not drop work.
+        """
+        import repro.data.corpus as corpus_mod
+
+        created = []
+        chunks_seen = []
+
+        class FakePool:
+            def __init__(self, processes):
+                created.append(processes)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def map(self, fn, payloads):
+                for payload in payloads:
+                    chunks_seen.append(list(payload[2]))
+                return [fn(p) for p in payloads]
+
+        class FakeMP:
+            Pool = FakePool
+            cpu_count = staticmethod(lambda: 64)
+
+        monkeypatch.setattr(corpus_mod, "multiprocessing", FakeMP)
+        cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
+        builder = CorpusBuilder(cfg)
+        par = builder.build_parallel(["c"], workers=3)
+        assert created and all(n <= 3 for n in created)
+        compiled = [item for chunk in chunks_seen for item in chunk]
+        assert len(compiled) == len(set(compiled))  # no item compiled twice
+        ser = CorpusBuilder(DataConfig(**self.CFG)).build(["c"])
+        assert self._fingerprints(par) == self._fingerprints(ser)
+        # workers=None falls back to cpu_count but still may not exceed
+        # the cold-item count (no pools of idle processes).
+        created.clear()
+        chunks_seen.clear()
+        builder2 = CorpusBuilder(
+            DataConfig(artifact_dir=str(tmp_path / "store2"), **self.CFG)
+        )
+        builder2.build_parallel(["c"], workers=None)
+        todo = sum(len(c) for c in chunks_seen)
+        assert created and all(n <= max(todo, 1) for n in created)
+
+    def test_parallel_rejects_bad_worker_count(self, tmp_path):
+        cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
+        with pytest.raises(ValueError, match="workers"):
+            CorpusBuilder(cfg).build_parallel(["c"], workers=0)
+
     def test_opt_level_and_compiler_key_separation(self, tmp_path):
         cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
         o0 = CorpusBuilder(cfg).build(["c"], opt_level="O0")

@@ -1,0 +1,280 @@
+"""Tests for the JSON-lines retrieval service (repro.serve).
+
+The serving contract: responses come back in request order, one JSON
+object per line; bad requests produce error responses without killing the
+loop; pipelined requests are scored in shared batches; and the warm
+pipeline/index pair is reused across every request.
+"""
+
+import base64
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import cpu_config, scaled, tiny_data_config
+from repro.core.trainer import MatchTrainer
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import build_pairs
+from repro.index import EmbeddingIndex, ShardedEmbeddingIndex
+from repro.serve import RetrievalServer
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    samples = CorpusBuilder(tiny_data_config()).build(["c", "java"])
+    c = [s for s in samples if s.language == "c"]
+    j = [s for s in samples if s.language == "java"]
+    return c, j
+
+
+@pytest.fixture(scope="module")
+def trained(corpus):
+    c, j = corpus
+    ds = build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=3)
+    cfg = scaled(cpu_config(), epochs=2, hidden_dim=16, embed_dim=16, num_layers=1)
+    trainer = MatchTrainer(cfg)
+    trainer.train(ds)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def index(trained, corpus):
+    _, j = corpus
+    idx = EmbeddingIndex(trained)
+    idx.add(
+        [s.source_graph for s in j], metas=[{"id": s.identifier} for s in j]
+    )
+    return idx
+
+
+def _serve(server, requests):
+    out = io.StringIO()
+    stats = server.serve(io.StringIO("".join(r + "\n" for r in requests)), out)
+    return [json.loads(line) for line in out.getvalue().splitlines()], stats
+
+
+def _binary_request(sample, **extra):
+    req = {"binary_b64": base64.b64encode(sample.binary_bytes).decode()}
+    req.update(extra)
+    return json.dumps(req)
+
+
+class TestRequests:
+    def test_binary_query_ranks_index(self, trained, index, corpus):
+        c, j = corpus
+        server = RetrievalServer(trained, index, default_k=3)
+        responses, stats = _serve(server, [_binary_request(c[0], id="q1")])
+        assert stats.requests == 1 and stats.errors == 0
+        (resp,) = responses
+        assert resp["id"] == "q1"
+        assert len(resp["hits"]) == 3
+        assert resp["hits"][0]["rank"] == 1
+        # Hits mirror the index's own ranking exactly.
+        want = index.topk(
+            server.pipeline.graph_of_binary(c[0].binary_bytes), k=3
+        )
+        assert [h["index"] for h in resp["hits"]] == [h.index for h in want]
+        assert [h["meta"] for h in resp["hits"]] == [h.meta for h in want]
+
+    def test_source_query(self, trained, index, corpus):
+        _, j = corpus
+        server = RetrievalServer(trained, index, default_k=2)
+        req = json.dumps({"id": "s", "source": j[0].source_text, "language": "java"})
+        responses, stats = _serve(server, [req])
+        assert stats.errors == 0
+        assert len(responses[0]["hits"]) == 2
+        # Hits mirror the index's own ranking of the compiled source graph.
+        want = index.topk(
+            server.pipeline.graph_of_source(j[0].source_text, "java"), k=2
+        )
+        assert [h["meta"] for h in responses[0]["hits"]] == [h.meta for h in want]
+
+    def test_per_request_k_and_null_k(self, trained, index, corpus):
+        c, _ = corpus
+        server = RetrievalServer(trained, index, default_k=2)
+        responses, _ = _serve(
+            server,
+            [
+                _binary_request(c[0], id="a", k=1),
+                _binary_request(c[0], id="b", k=None),
+                _binary_request(c[0], id="c"),
+            ],
+        )
+        assert [r["id"] for r in responses] == ["a", "b", "c"]
+        assert len(responses[0]["hits"]) == 1
+        assert len(responses[1]["hits"]) == len(index)  # null = full ranking
+        assert len(responses[2]["hits"]) == 2  # server default
+
+    def test_responses_preserve_request_order(self, trained, index, corpus):
+        c, j = corpus
+        server = RetrievalServer(trained, index, batch_size=2, default_k=1)
+        requests = [
+            _binary_request(c[0], id="q0"),
+            json.dumps({"id": "q1", "source": j[0].source_text, "language": "java"}),
+            _binary_request(c[1], id="q2"),
+        ]
+        responses, stats = _serve(server, requests)
+        assert [r["id"] for r in responses] == ["q0", "q1", "q2"]
+        assert stats.batches == 2  # 2 + 1
+
+
+class TestBatching:
+    def test_requests_share_batched_scoring(self, trained, corpus):
+        c, j = corpus
+        fresh = EmbeddingIndex(trained)  # own query cache: counting encodes
+        fresh.add([s.source_graph for s in j])
+        server = RetrievalServer(trained, fresh, batch_size=4, default_k=1)
+        trained.model.encoder_graph_count = 0
+        distinct = [s for s in c[:4]]
+        responses, stats = _serve(
+            server, [_binary_request(s, id=s.identifier) for s in distinct]
+        )
+        assert stats.batches == 1
+        # All four query graphs went through the encoder in one batch.
+        assert trained.model.encoder_graph_count == 4
+        assert len(responses) == 4
+
+    def test_flush_on_eof_below_batch_size(self, trained, index, corpus):
+        c, _ = corpus
+        server = RetrievalServer(trained, index, batch_size=64, default_k=1)
+        responses, stats = _serve(server, [_binary_request(c[0])])
+        assert stats.batches == 1 and len(responses) == 1
+
+    def test_pipe_input_batches_pipelined_requests(self, trained, index, corpus):
+        """A real pipe with queued requests must batch them, not serve 1-by-1
+        (stdlib text streams hide read-ahead lines from select, which once
+        degraded piped traffic to batches of one)."""
+        import os
+
+        c, _ = corpus
+        server = RetrievalServer(trained, index, batch_size=4, default_k=1)
+        read_fd, write_fd = os.pipe()
+        payload = "".join(
+            _binary_request(s, id=s.identifier) + "\n" for s in c[:4]
+        ).encode()
+        os.write(write_fd, payload)
+        os.close(write_fd)
+        out = io.StringIO()
+        with os.fdopen(read_fd, "r") as in_stream:
+            stats = server.serve(in_stream, out)
+        assert stats.requests == 4
+        assert stats.batches == 1  # all four scored in one pass
+        assert len(out.getvalue().splitlines()) == 4
+
+    def test_pipe_input_flushes_partial_batch(self, trained, index, corpus):
+        """Fewer queued requests than batch_size still get answered (no
+        deadlock waiting for a batch that will never fill)."""
+        import os
+
+        c, _ = corpus
+        server = RetrievalServer(trained, index, batch_size=8, default_k=1)
+        read_fd, write_fd = os.pipe()
+        os.write(write_fd, (_binary_request(c[0], id="solo") + "\n").encode())
+        os.close(write_fd)
+        out = io.StringIO()
+        with os.fdopen(read_fd, "r") as in_stream:
+            stats = server.serve(in_stream, out)
+        assert stats.batches == 1
+        assert json.loads(out.getvalue())["id"] == "solo"
+
+    def test_blank_lines_ignored(self, trained, index, corpus):
+        c, _ = corpus
+        server = RetrievalServer(trained, index, default_k=1)
+        out = io.StringIO()
+        stats = server.serve(
+            io.StringIO("\n\n" + _binary_request(c[0]) + "\n\n"), out
+        )
+        assert stats.requests == 1
+
+    def test_stats_reset_per_serve_loop(self, trained, index, corpus):
+        """A reused warm server reports per-loop stats, not lifetime totals."""
+        c, _ = corpus
+        server = RetrievalServer(trained, index, default_k=1)
+        _serve(server, [_binary_request(c[0])])
+        stats = server.serve(io.StringIO(_binary_request(c[1]) + "\n"), io.StringIO())
+        assert stats.requests == 1
+
+    def test_bad_batch_size_rejected(self, trained, index):
+        with pytest.raises(ValueError):
+            RetrievalServer(trained, index, batch_size=0)
+
+    def test_bad_default_k_rejected_at_startup(self, trained, index):
+        """--top-k 0 must fail when the server starts, not per request."""
+        for bad in (0, -1, 2.5):
+            with pytest.raises(ValueError):
+                RetrievalServer(trained, index, default_k=bad)
+        RetrievalServer(trained, index, default_k=None)  # full rankings ok
+
+
+class TestErrors:
+    def test_bad_json_line(self, trained, index, corpus):
+        c, _ = corpus
+        server = RetrievalServer(trained, index, default_k=1)
+        responses, stats = _serve(
+            server, ["{not json", _binary_request(c[0], id="ok")]
+        )
+        assert stats.errors == 1
+        assert "bad JSON" in responses[0]["error"]
+        assert responses[1]["id"] == "ok"
+
+    def test_parse_error_echoes_id(self, trained, index):
+        server = RetrievalServer(trained, index)
+        responses, _ = _serve(server, [json.dumps({"id": "oops"})])
+        assert responses[0]["id"] == "oops"
+        assert "binary_b64" in responses[0]["error"]
+
+    def test_error_does_not_poison_batch(self, trained, index, corpus):
+        c, _ = corpus
+        server = RetrievalServer(trained, index, batch_size=3, default_k=1)
+        responses, stats = _serve(
+            server,
+            [
+                _binary_request(c[0], id="good1"),
+                json.dumps({"id": "bad", "binary_b64": "!!!not-base64!!!"}),
+                _binary_request(c[1], id="good2"),
+            ],
+        )
+        assert stats.errors == 1
+        assert [r["id"] for r in responses] == ["good1", "bad", "good2"]
+        assert "error" in responses[1] and "hits" in responses[0]
+
+    @pytest.mark.parametrize(
+        "req",
+        [
+            {"source": "int x;"},  # missing language
+            {"source": "int x;", "language": 3},
+            {"binary_b64": "aa", "source": "x", "language": "c"},  # both
+            {"binary_b64": "aa", "k": 0},
+            {"binary_b64": "aa", "k": -2},
+            {"binary_b64": "aa", "k": "five"},
+            {"binary_b64": 7},
+        ],
+    )
+    def test_malformed_requests_get_error_responses(self, trained, index, req):
+        server = RetrievalServer(trained, index)
+        responses, stats = _serve(server, [json.dumps(req)])
+        assert stats.errors == 1
+        assert "error" in responses[0]
+
+    def test_uncompilable_source_is_an_error_response(self, trained, index):
+        server = RetrievalServer(trained, index)
+        responses, _ = _serve(
+            server,
+            [json.dumps({"id": "x", "source": "not a program", "language": "java"})],
+        )
+        assert "error" in responses[0] and responses[0]["id"] == "x"
+
+
+class TestShardedServing:
+    def test_sharded_index_behind_server(self, trained, index, corpus, tmp_path):
+        c, _ = corpus
+        ShardedEmbeddingIndex.from_index(index, tmp_path / "idx", 3)
+        sharded = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        mono_server = RetrievalServer(trained, index, default_k=4)
+        shard_server = RetrievalServer(trained, sharded, default_k=4)
+        req = [_binary_request(c[0], id="q")]
+        mono_responses, _ = _serve(mono_server, req)
+        shard_responses, _ = _serve(shard_server, req)
+        assert mono_responses == shard_responses

@@ -1,0 +1,262 @@
+"""Tests for the sharded embedding index: exactness, laziness, growth.
+
+The contract is the same as the monolithic index's, with one word
+stronger: an index sharded from a monolithic one must return *bit
+identical* scores (the shards hold the same float32 rows and the scoring
+code path is shared), while loading shards lazily and growing via
+``add_shard`` / ``merge`` without rewriting existing shard files.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import cpu_config, scaled, tiny_data_config
+from repro.core.trainer import MatchTrainer
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import build_pairs
+from repro.index import EmbeddingIndex, ShardedEmbeddingIndex, open_index
+from repro.index.sharded import MANIFEST_NAME
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    samples = CorpusBuilder(tiny_data_config()).build(["c", "java"])
+    c = [s for s in samples if s.language == "c"]
+    j = [s for s in samples if s.language == "java"]
+    return c, j
+
+
+def _train(corpus, **overrides):
+    c, j = corpus
+    ds = build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=3)
+    cfg = scaled(
+        cpu_config(), epochs=2, hidden_dim=16, embed_dim=16, num_layers=1, **overrides
+    )
+    trainer = MatchTrainer(cfg)
+    trainer.train(ds)
+    return trainer
+
+
+@pytest.fixture(scope="module")
+def trained(corpus):
+    return _train(corpus)
+
+
+@pytest.fixture()
+def mono(trained, corpus):
+    """Monolithic reference index over every java source graph."""
+    _, j = corpus
+    index = EmbeddingIndex(trained)
+    index.add(
+        [s.source_graph for s in j], metas=[{"id": s.identifier} for s in j]
+    )
+    return index
+
+
+class TestFromIndexParity:
+    def test_scores_bit_identical(self, trained, corpus, mono, tmp_path):
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        assert sharded.num_shards == int(np.ceil(len(mono) / 3))
+        assert len(sharded) == len(mono)
+        queries = [s.decompiled_graph for s in c[:3]]
+        np.testing.assert_array_equal(
+            sharded.scores_batch(queries), mono.scores_batch(queries)
+        )
+        np.testing.assert_array_equal(
+            sharded.scores(queries[0]), mono.scores(queries[0])
+        )
+
+    def test_topk_hits_identical(self, trained, corpus, mono, tmp_path):
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 4)
+        for sample in c[:2]:
+            mono_hits = mono.topk(sample.decompiled_graph, k=5)
+            shard_hits = sharded.topk(sample.decompiled_graph, k=5)
+            assert [(h.index, h.score, h.key, h.meta) for h in shard_hits] == [
+                (h.index, h.score, h.key, h.meta) for h in mono_hits
+            ]
+
+    def test_save_load_query_round_trip(self, trained, corpus, mono, tmp_path):
+        """The full disk round trip: shard, reopen, query — same answers."""
+        c, _ = corpus
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        query = c[0].decompiled_graph
+        np.testing.assert_array_equal(reopened.scores(query), mono.scores(query))
+        assert [h.meta for h in reopened.topk(query, k=3)] == [
+            h.meta for h in mono.topk(query, k=3)
+        ]
+
+    def test_keys_metas_embeddings_aligned(self, trained, mono, tmp_path):
+        sharded = ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        assert sharded.keys == mono._keys
+        assert sharded.metas == mono.metas
+        np.testing.assert_array_equal(sharded.embeddings, mono.embeddings)
+
+
+class TestLaziness:
+    def test_open_loads_nothing(self, trained, mono, tmp_path):
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        assert reopened.resident_shards == 0
+        assert len(reopened) == len(mono)  # sizing needs no shard loads
+        assert reopened.num_shards > 1
+
+    def test_query_materializes_shards(self, trained, corpus, mono, tmp_path):
+        c, _ = corpus
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        reopened.scores(c[0].decompiled_graph)
+        assert reopened.resident_shards == reopened.num_shards
+
+    def test_entry_queries_skip_encoder_after_first_gather(
+        self, trained, corpus, mono, tmp_path
+    ):
+        """Like the monolithic index, a query equal to an indexed entry
+        reuses the stored embedding instead of re-running the encoder."""
+        c, j = corpus
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        reopened.scores(c[0].decompiled_graph)  # first gather seeds the cache
+        before = trained.model.encoder_graph_count
+        reopened.scores(j[0].source_graph)  # an indexed entry
+        assert trained.model.encoder_graph_count == before
+
+    def test_shard_subset_query(self, trained, corpus, mono, tmp_path):
+        """A subset query loads (and scores) only the selected shards."""
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        query = c[0].decompiled_graph
+        subset = reopened.scores(query, shards=[0])
+        assert reopened.resident_shards == 1
+        np.testing.assert_array_equal(subset, sharded.scores(query)[:3])
+        hits = reopened.topk(query, k=2, shards=[0])
+        assert all(h.index < 3 for h in hits)
+        with pytest.raises(ValueError, match="no shard"):
+            reopened.scores(query, shards=[99])
+
+
+class TestGrowth:
+    def test_add_shard_from_graphs(self, trained, corpus, mono):
+        _, j = corpus
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            sharded = ShardedEmbeddingIndex.create(trained, tmp + "/idx")
+            graphs = [s.source_graph for s in j]
+            metas = [{"id": s.identifier} for s in j]
+            sharded.add_shard(graphs[:3], metas[:3])
+            sharded.add_shard(graphs[3:], metas[3:])
+            assert sharded.num_shards == 2 and len(sharded) == len(j)
+            assert sharded.metas == mono.metas
+            np.testing.assert_allclose(
+                sharded.embeddings, mono.embeddings, atol=1e-5
+            )
+
+    def test_add_shard_validation(self, trained, corpus, tmp_path):
+        _, j = corpus
+        sharded = ShardedEmbeddingIndex.create(trained, tmp_path / "idx")
+        with pytest.raises(ValueError):
+            sharded.add_shard()  # neither graphs nor index
+        with pytest.raises(ValueError):
+            sharded.add_shard([])  # empty shard
+        with pytest.raises(ValueError):
+            sharded.add_shard([j[0].source_graph], metas=[{}, {}])
+        piece = EmbeddingIndex(trained)
+        with pytest.raises(ValueError):
+            sharded.add_shard(index=piece)  # empty prebuilt index
+
+    def test_merge(self, trained, corpus, mono, tmp_path):
+        _, j = corpus
+        half = len(j) // 2
+        left = EmbeddingIndex(trained)
+        left.add_precomputed(
+            mono._keys[:half], mono.embeddings[:half], mono._metas[:half]
+        )
+        right = EmbeddingIndex(trained)
+        right.add_precomputed(
+            mono._keys[half:], mono.embeddings[half:], mono._metas[half:]
+        )
+        a = ShardedEmbeddingIndex.from_index(left, tmp_path / "a", 2)
+        b = ShardedEmbeddingIndex.from_index(right, tmp_path / "b", 2)
+        a.merge(b)
+        assert len(a) == len(mono)
+        np.testing.assert_array_equal(a.embeddings, mono.embeddings)
+        # The merged index persists: reopening sees all shards.
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "a", trained)
+        assert reopened.num_shards == a.num_shards
+        np.testing.assert_array_equal(reopened.embeddings, mono.embeddings)
+
+    def test_merge_into_itself_rejected(self, trained, mono, tmp_path):
+        a = ShardedEmbeddingIndex.from_index(mono, tmp_path / "a", 2)
+        with pytest.raises(ValueError, match="itself"):
+            a.merge(a)
+        same_dir = ShardedEmbeddingIndex.open(tmp_path / "a", trained)
+        with pytest.raises(ValueError, match="itself"):
+            a.merge(same_dir)
+
+    def test_create_refuses_overwrite(self, trained, tmp_path):
+        ShardedEmbeddingIndex.create(trained, tmp_path / "idx")
+        with pytest.raises(ValueError, match="already holds"):
+            ShardedEmbeddingIndex.create(trained, tmp_path / "idx")
+
+    def test_empty_index_queries(self, trained, corpus, tmp_path):
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.create(trained, tmp_path / "idx")
+        assert sharded.scores(c[0].decompiled_graph).shape == (0,)
+        assert sharded.topk(c[0].decompiled_graph, k=3) == []
+        assert sharded.topk_batch([c[0].decompiled_graph], k=3) == [[]]
+
+
+class TestValidation:
+    def test_foreign_model_rejected(self, trained, corpus, mono, tmp_path):
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        other = _train(corpus, seed=99)
+        with pytest.raises(ValueError, match="different model"):
+            ShardedEmbeddingIndex.open(tmp_path / "idx", other)
+
+    def test_non_index_dir_rejected(self, trained, tmp_path):
+        with pytest.raises(ValueError, match="not a sharded index"):
+            ShardedEmbeddingIndex.open(tmp_path, trained)
+
+    def test_bad_manifest_rejected(self, trained, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError, match="manifest"):
+            ShardedEmbeddingIndex.open(tmp_path, trained)
+
+    def test_tampered_shard_rejected(self, trained, corpus, mono, tmp_path):
+        """A shard whose arrays disagree with the manifest fails loudly."""
+        c, _ = corpus
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        manifest = json.loads((tmp_path / "idx" / MANIFEST_NAME).read_text())
+        manifest["shards"][0]["entries"] += 1
+        (tmp_path / "idx" / MANIFEST_NAME).write_text(json.dumps(manifest))
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        with pytest.raises(ValueError, match="corrupt"):
+            reopened.scores(c[0].decompiled_graph)
+
+    def test_tag_round_trips(self, trained, mono, tmp_path):
+        sharded = ShardedEmbeddingIndex.from_index(
+            mono, tmp_path / "idx", 3, tag="corpus-v2"
+        )
+        assert sharded.tag == "corpus-v2"
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        assert reopened.tag == "corpus-v2"
+        reopened.set_tag("corpus-v3")
+        assert ShardedEmbeddingIndex.open(tmp_path / "idx", trained).tag == "corpus-v3"
+
+
+class TestOpenIndex:
+    def test_dispatches_on_disk_layout(self, trained, corpus, mono, tmp_path):
+        _, j = corpus
+        mono_path = tmp_path / "mono.npz"
+        mono.save(mono_path)
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "sharded", 3)
+        assert isinstance(open_index(mono_path, trained), EmbeddingIndex)
+        assert isinstance(
+            open_index(tmp_path / "sharded", trained), ShardedEmbeddingIndex
+        )

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.config import cpu_config, scaled, tiny_data_config
-from repro.core.trainer import MatchTrainer
+from repro.core.trainer import MatchTrainer, weighted_epoch_loss
 from repro.data.corpus import CorpusBuilder
 from repro.data.pairs import build_pairs
 
@@ -67,6 +67,36 @@ class TestLabelSmoothing:
         report = tr.train(dataset)
         floor = -(s / 2 * np.log(s / 2) + (1 - s / 2) * np.log(1 - s / 2))
         assert report.epoch_losses[-1] >= floor - 1e-3
+
+
+class TestEpochLoss:
+    """The reported curve weights batches by pair count (ragged-tail fix)."""
+
+    def test_weighted_mean(self):
+        # Full batches of 4 at loss 1.0, ragged tail of 1 pair at loss 9.0:
+        # an unweighted mean (3.67) overstates the tail by ~2.4x.
+        batches = [(1.0, 4), (1.0, 4), (9.0, 1)]
+        assert weighted_epoch_loss(batches) == pytest.approx((4 + 4 + 9) / 9)
+        assert weighted_epoch_loss(batches) < float(
+            np.mean([l for l, _ in batches])
+        )
+
+    def test_equal_batches_match_plain_mean(self):
+        batches = [(0.5, 8), (1.5, 8), (2.5, 8)]
+        assert weighted_epoch_loss(batches) == pytest.approx(1.5)
+
+    def test_empty(self):
+        assert weighted_epoch_loss([]) == 0.0
+
+    def test_train_reports_weighted_curve(self, dataset):
+        # Pick a batch size that leaves a ragged final minibatch, forcing
+        # the weighted path to handle unequal batch sizes.
+        n = len(dataset.train)
+        bs = next(b for b in (4, 3, 5) if n % b)
+        tr = MatchTrainer(_cfg(epochs=2, batch_pairs=bs))
+        report = tr.train(dataset)
+        assert len(report.epoch_losses) == 2
+        assert all(np.isfinite(l) and l > 0 for l in report.epoch_losses)
 
 
 class TestTrainingDeterminism:
