@@ -5,18 +5,27 @@ Not in the paper's tables — these probe the architecture decisions the
 paper asserts (max aggregation, 5 layers, position features) at CPU scale.
 """
 
-from repro.eval.experiments import run_graphbinmatch
 from repro.utils.tables import Table
 
-from benchmarks.common import bench_model_config, crosslang_dataset, run_once
+from benchmarks.common import crosslang_dataset, gbm_grid, run_once
+
+
+def _sweep(param: str, values) -> dict:
+    """One ablation sweep through the experiment runner's grid.
+
+    Every configuration is an independent training, so the sweep rides the
+    model store (warm rebenches load instead of retrain) and can fan cold
+    trainings across worker processes with identical results.
+    """
+    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
+    jobs = [
+        (f"abl-{param}-{value}", ds, {param: value, "epochs": 8}) for value in values
+    ]
+    return dict(zip(values, gbm_grid(jobs)))
 
 
 def _run_aggregation():
-    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
-    return {
-        agg: run_graphbinmatch(ds, bench_model_config(aggregate=agg, epochs=8))
-        for agg in ("max", "sum", "mean")
-    }
+    return _sweep("aggregate", ("max", "sum", "mean"))
 
 
 def test_ablation_aggregation(benchmark):
@@ -29,11 +38,7 @@ def test_ablation_aggregation(benchmark):
 
 
 def _run_depth():
-    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
-    return {
-        depth: run_graphbinmatch(ds, bench_model_config(num_layers=depth, epochs=8))
-        for depth in (1, 3, 5)
-    }
+    return _sweep("num_layers", (1, 3, 5))
 
 
 def test_ablation_depth(benchmark):
@@ -46,11 +51,7 @@ def test_ablation_depth(benchmark):
 
 
 def _run_positions():
-    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
-    return {
-        flag: run_graphbinmatch(ds, bench_model_config(use_positions=flag, epochs=8))
-        for flag in (True, False)
-    }
+    return _sweep("use_positions", (True, False))
 
 
 def test_ablation_edge_positions(benchmark):
@@ -63,11 +64,7 @@ def test_ablation_edge_positions(benchmark):
 
 
 def _run_pair_features():
-    ds, _ = crosslang_dataset(("c",), ("java",), num_tasks=8)
-    return {
-        mode: run_graphbinmatch(ds, bench_model_config(pair_features=mode, epochs=8))
-        for mode in ("concat", "interaction")
-    }
+    return _sweep("pair_features", ("concat", "interaction"))
 
 
 def test_ablation_pair_features(benchmark):

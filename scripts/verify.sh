@@ -57,4 +57,25 @@ if ! grep -q ", 0 misses" <<<"$warm_out"; then
   exit 1
 fi
 
+echo "== smoke: experiment run cold -> warm model cache =="
+exp_args=(--binary-langs c --source-langs java --num-tasks 6 --variants 1 --epochs 2)
+python -m repro experiment run "${exp_args[@]}" --store "$tmp/models"
+warm_exp="$(python -m repro experiment run "${exp_args[@]}" --store "$tmp/models")"
+echo "$warm_exp"
+if ! grep -q "cache hit" <<<"$warm_exp"; then
+  echo "verify: FAIL — warm experiment run did not hit the model store" >&2
+  exit 1
+fi
+python -m repro experiment list "$tmp/models"
+
+echo "== bench: training-throughput gates (smoke scale) =="
+# Gates: warm experiment ≥5x with identical rows, parallel grid identical
+# to serial, fused optimizer parity + step speedup.  Also refreshes the
+# perf record at benchmarks/perf/BENCH_train.json.
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_train.py -x -q
+if [ ! -f benchmarks/perf/BENCH_train.json ]; then
+  echo "verify: FAIL — bench_train did not write benchmarks/perf/BENCH_train.json" >&2
+  exit 1
+fi
+
 echo "verify: OK"

@@ -18,6 +18,10 @@ Commands
                binary bytes or source text) on stdin, ranked hits as
                JSON-lines on stdout, batching pipelined requests through
                one warm pipeline + index.
+``experiment`` Cached training runs: ``experiment run`` fingerprints a
+               (config, dataset) training run and loads it from a
+               content-addressed model store instead of retraining;
+               ``experiment list`` prints a store's entries.
 ``tasks``      List the task templates the generator knows.
 
 Everything is deterministic given ``--seed``; commands print the exact
@@ -27,6 +31,7 @@ configuration they resolved so runs are reproducible from the log alone.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -120,6 +125,23 @@ def build_parser() -> argparse.ArgumentParser:
                     help="default hit-list size (requests override with 'k')")
     sv.add_argument("--store", default=None, metavar="DIR",
                     help="artifact store root shared across requests")
+
+    ex = sub.add_parser("experiment", help="fingerprinted, cached training runs")
+    exsub = ex.add_subparsers(dest="experiment_command", required=True)
+    xr = exsub.add_parser("run", help="train (or load) one experiment and evaluate it")
+    xr.add_argument("--name", default="cli", help="display name stored with the run")
+    xr.add_argument("--binary-langs", default="c,cpp", help="comma list, binary side")
+    xr.add_argument("--source-langs", default="java", help="comma list, source side")
+    xr.add_argument("--num-tasks", type=int, default=12)
+    xr.add_argument("--variants", type=int, default=2)
+    xr.add_argument("--epochs", type=int, default=12)
+    xr.add_argument("--seed", type=int, default=0)
+    xr.add_argument("--store", default=os.environ.get("REPRO_MODEL_CACHE") or None,
+                    metavar="DIR",
+                    help="model store root (default: $REPRO_MODEL_CACHE); "
+                         "omit to always train")
+    xl = exsub.add_parser("list", help="show a model store's experiments")
+    xl.add_argument("store", metavar="DIR", help="model store root")
 
     sub.add_parser("tasks", help="list available task templates")
     return p
@@ -387,6 +409,58 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_experiment(args) -> int:
+    """Dispatch ``experiment run`` / ``experiment list``."""
+    return _EXPERIMENT_COMMANDS[args.experiment_command](args)
+
+
+def cmd_experiment_run(args) -> int:
+    """Train one experiment — or load it from the model store — and evaluate."""
+    from repro.config import cpu_config, scaled
+    from repro.eval.experiments import build_crosslang_dataset, run_graphbinmatch
+    from repro.exec import ExperimentSpec, ModelStore, run_experiment
+
+    dataset, _ = build_crosslang_dataset(
+        _data_config(args),
+        args.binary_langs.split(","),
+        args.source_langs.split(","),
+    )
+    tr, va, te = dataset.sizes()
+    config = scaled(cpu_config(seed=args.seed), epochs=args.epochs)
+    spec = ExperimentSpec(args.name, config)
+    store = ModelStore(args.store) if args.store else None
+    run = run_experiment(spec, dataset, store=store)
+    source = "cache hit" if run.from_cache else "trained"
+    print(f"dataset: train={tr} valid={va} test={te}")
+    print(f"experiment {run.fingerprint[:16]}: {source} in {run.seconds:.2f}s"
+          + (f" (store: {store.root})" if store else " (no store)"))
+    result = run_graphbinmatch(dataset, config, trainer=run.trainer)
+    m = result.metrics
+    print(f"test: precision={m.precision:.3f} recall={m.recall:.3f} f1={m.f1:.3f} "
+          f"(threshold {result.threshold:.2f})")
+    return 0
+
+
+def cmd_experiment_list(args) -> int:
+    """Print every experiment stored in a model store."""
+    from repro.exec import ModelStore
+
+    store = ModelStore(args.store)
+    entries = store.entries()
+    print(f"model store at {store.root}: {len(entries)} experiments")
+    for e in entries:
+        fp = e.get("fingerprint", "?")[:16]
+        name = e.get("name", "?")
+        epochs = e.get("epochs", "?")
+        f1 = e.get("valid_f1")
+        f1_s = f"{f1:.3f}" if isinstance(f1, (int, float)) else "?"
+        secs = e.get("train_seconds")
+        secs_s = f"{secs:.1f}s" if isinstance(secs, (int, float)) else "?"
+        print(f"{fp}  {name:<20} epochs={epochs:<4} valid_f1={f1_s} "
+              f"train={secs_s} {e['bytes'] / 1024:.0f} KiB")
+    return 0
+
+
 def cmd_tasks(_args) -> int:
     """List task templates."""
     from repro.lang.tasks import TASK_REGISTRY
@@ -404,7 +478,13 @@ _COMMANDS = {
     "index": cmd_index,
     "corpus": cmd_corpus,
     "serve": cmd_serve,
+    "experiment": cmd_experiment,
     "tasks": cmd_tasks,
+}
+
+_EXPERIMENT_COMMANDS = {
+    "run": cmd_experiment_run,
+    "list": cmd_experiment_list,
 }
 
 _INDEX_COMMANDS = {

@@ -7,6 +7,9 @@ whole step is a single vectorized forward/backward.
 
 from __future__ import annotations
 
+import hashlib
+import json
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -25,14 +28,28 @@ from repro.tokenize.tokenizer import IRTokenizer
 from repro.utils.rng import derive_rng
 
 
+def config_fingerprint(config: ModelConfig) -> str:
+    """Stable content hash of a :class:`ModelConfig` (JSON over its fields)."""
+    from dataclasses import asdict
+
+    payload = json.dumps(asdict(config), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 @dataclass
 class TrainReport:
-    """Loss curve plus final validation metrics."""
+    """Loss curve, final validation metrics and per-phase wall clock."""
 
     epoch_losses: List[float] = field(default_factory=list)
     valid_f1: float = 0.0
     valid_f1_curve: List[float] = field(default_factory=list)
     best_epoch: int = -1
+    # Wall-clock seconds per training phase: "encode" (batch building and
+    # tokenization, train + valid), "optimize" (clip + optimizer step),
+    # "valid" (per-epoch early-stopping evaluation), "train" (the whole
+    # epoch loop including forward/backward).
+    timings: Dict[str, float] = field(default_factory=dict)
+    epoch_seconds: List[float] = field(default_factory=list)
 
 
 def weighted_epoch_loss(batch_losses: Sequence[Tuple[float, int]]) -> float:
@@ -57,6 +74,15 @@ class MatchTrainer:
         self.config = config
         self.tokenizer = tokenizer
         self.model: Optional[GraphBinMatch] = None
+        self.optimizer: Optional[nn.Adam] = None
+        # Optimizer state restored from a checkpoint, pending validation and
+        # import by the next train() call (see save/load).
+        self._restored_opt: Optional[dict] = None
+        # Identity-keyed memo of encoded prediction batches: the validation
+        # split is scored every epoch under early stopping and again by the
+        # final/calibration passes, but its tokenization + graph batching
+        # are pair-content functions — encode once, reuse everywhere.
+        self._encoded_memo: List[Tuple[Sequence[MatchingPair], int, list]] = []
 
     # ------------------------------------------------------------- setup
     def fit_tokenizer(self, pairs: Sequence[MatchingPair]) -> IRTokenizer:
@@ -89,7 +115,32 @@ class MatchTrainer:
         return batch, token_ids, labels
 
     # ------------------------------------------------------------- train
-    def train(self, dataset: PairDataset, early_stopping: bool = False) -> TrainReport:
+    def _apply_restored_optimizer(self, optimizer: nn.Adam) -> None:
+        """Import checkpointed Adam moments into a fresh optimizer.
+
+        Resuming against a different architecture or configuration would
+        replay moments onto the wrong weights, so both the parameter-layout
+        and config fingerprints recorded at save time must match exactly.
+        """
+        restored = self._restored_opt
+        if restored is None:
+            return
+        layout = self.model.layout_fingerprint()
+        config_fp = config_fingerprint(self.config)
+        if restored.get("layout") != layout or restored.get("config") != config_fp:
+            raise ValueError(
+                "refusing to resume: optimizer state was saved for "
+                f"layout={restored.get('layout')}/config={restored.get('config')}, "
+                f"model is layout={layout}/config={config_fp}"
+            )
+        optimizer.state_import(restored["state"])
+
+    def train(
+        self,
+        dataset: PairDataset,
+        early_stopping: bool = False,
+        fused_optimizer: bool = True,
+    ) -> TrainReport:
         """Run the full training schedule; returns the loss curve.
 
         Pairs are shuffled once and packed into fixed minibatches that are
@@ -98,20 +149,30 @@ class MatchTrainer:
         are the dominant per-step overheads, so reusing the encoded batches
         cuts epoch time by an order of magnitude; the reduced shuffling is
         compensated by dropout noise and matters little at this data scale.
+        The validation split is likewise encoded once and its batches reused
+        by every early-stopping evaluation (and by the final / calibration
+        passes through :meth:`predict`).
 
         With ``early_stopping=True`` the validation F1 is evaluated after
         every epoch and the best-scoring weights are restored at the end —
         the unseen-task split overfits quickly at CPU scale, so the last
         epoch is rarely the best one.
+
+        ``fused_optimizer`` selects the :class:`~repro.nn.optim.ParameterArena`
+        whole-buffer Adam + gradient clip (the default); ``False`` runs the
+        per-parameter reference loop (same arithmetic, used by the parity
+        benchmarks).  A trainer restored from a checkpoint that carried
+        optimizer state resumes from those moments — fingerprint-validated —
+        instead of silently resetting them.
         """
         from repro.eval.metrics import classification_metrics
 
+        report = TrainReport()
+        t_encode = time.perf_counter()
         if self.tokenizer is None:
             self.fit_tokenizer(dataset.train)
         model = self._ensure_model()
-        optimizer = nn.Adam(model.parameters(), lr=self.config.learning_rate)
         rng = derive_rng(self.config.seed, "train-shuffle")
-        report = TrainReport()
         pairs = list(dataset.train)
         bs = self.config.batch_pairs
         order = rng.permutation(len(pairs))
@@ -121,9 +182,22 @@ class MatchTrainer:
         ]
         valid_labels = np.asarray([p.label for p in dataset.valid])
         track_valid = early_stopping and len(valid_labels) > 0
+        if track_valid:
+            encoded_valid = self.encode_pairs(dataset.valid)
+        report.timings["encode"] = time.perf_counter() - t_encode
+
+        optimizer = nn.Adam(
+            model.parameters(), lr=self.config.learning_rate, fused=fused_optimizer
+        )
+        self._apply_restored_optimizer(optimizer)
+        self.optimizer = optimizer
         best_state = None
         best_f1 = -1.0
+        t_optim = 0.0
+        t_valid = 0.0
+        t_train = time.perf_counter()
         for epoch in range(self.config.epochs):
+            t_epoch = time.perf_counter()
             model.train()
             losses = []
             smooth = self.config.label_smoothing
@@ -134,20 +208,37 @@ class MatchTrainer:
                 scores = model(batch, token_ids)
                 loss = nn.binary_cross_entropy(scores, targets)
                 loss.backward()
-                clip_grad_norm(model.parameters(), self.config.grad_clip)
+                t0 = time.perf_counter()
+                if fused_optimizer:
+                    optimizer.clip_grad_norm(self.config.grad_clip)
+                else:
+                    clip_grad_norm(model.parameters(), self.config.grad_clip)
                 optimizer.step()
+                t_optim += time.perf_counter() - t0
                 losses.append((loss.item(), len(labels)))
             report.epoch_losses.append(weighted_epoch_loss(losses))
             if track_valid:
-                valid_scores = self.predict(dataset.valid)
+                t0 = time.perf_counter()
+                valid_scores = self._predict_encoded(encoded_valid)
                 f1 = classification_metrics(valid_labels, valid_scores >= 0.5).f1
+                t_valid += time.perf_counter() - t0
                 report.valid_f1_curve.append(f1)
                 if f1 > best_f1:
                     best_f1 = f1
                     best_state = model.state_dict()
+                    # Snapshot the moments with the weights: restoring
+                    # best-epoch weights but keeping last-epoch Adam state
+                    # would hand a resumed run a trajectory that belongs to
+                    # neither epoch.
+                    best_opt_state = optimizer.state_export()
                     report.best_epoch = epoch
+            report.epoch_seconds.append(time.perf_counter() - t_epoch)
+        report.timings["train"] = time.perf_counter() - t_train
+        report.timings["optimize"] = t_optim
+        report.timings["valid"] = t_valid
         if track_valid and best_state is not None:
             model.load_state_dict(best_state)
+            optimizer.state_import(best_opt_state)
 
         valid_scores = self.predict(dataset.valid)
         if len(valid_labels):
@@ -155,8 +246,16 @@ class MatchTrainer:
         return report
 
     # ------------------------------------------------------ checkpointing
-    def save(self, path) -> None:
-        """Write model weights + tokenizer + config to one ``.npz`` file."""
+    def save(self, path, extra_meta: Optional[dict] = None) -> None:
+        """Write model weights + tokenizer + config to one ``.npz`` file.
+
+        When the trainer holds optimizer state (it trained in this process,
+        or it restored moments from a checkpoint), the Adam ``t``/``m``/``v``
+        ride along so a reloaded trainer resumes training instead of
+        silently resetting the moments.  ``extra_meta`` entries are merged
+        into the checkpoint metadata (the experiment runner stores its
+        fingerprint and report there).
+        """
         from dataclasses import asdict
 
         from repro.nn.serialize import save_state
@@ -164,12 +263,30 @@ class MatchTrainer:
         if self.model is None or self.tokenizer is None:
             raise RuntimeError("nothing to save: train() or fit_tokenizer() first")
         meta = {"config": asdict(self.config), "tokenizer": self.tokenizer.state()}
-        save_state(self.model, path, meta=meta)
+        if extra_meta:
+            meta.update(extra_meta)
+        extra_arrays: Dict[str, np.ndarray] = {}
+        opt_state = None
+        if self.optimizer is not None:
+            opt_state = self.optimizer.state_export()
+        elif self._restored_opt is not None:
+            opt_state = self._restored_opt["state"]
+        if opt_state is not None:
+            meta["optimizer"] = {
+                "algo": opt_state["algo"],
+                "t": int(opt_state.get("t", 0)),
+                "layout": self.model.layout_fingerprint(),
+                "config": config_fingerprint(self.config),
+            }
+            for key in ("m", "v", "velocity"):
+                if key in opt_state:
+                    extra_arrays[f"opt.{key}"] = np.asarray(opt_state[key])
+        save_state(self.model, path, meta=meta, extra=extra_arrays or None)
 
     @classmethod
     def load(cls, path) -> "MatchTrainer":
-        """Restore a trainer (model + tokenizer) saved by :meth:`save`."""
-        from repro.nn.serialize import load_state, read_meta
+        """Restore a trainer (model + tokenizer + optimizer state)."""
+        from repro.nn.serialize import load_state, read_extra, read_meta
 
         meta = read_meta(path)
         if meta is None or "config" not in meta or "tokenizer" not in meta:
@@ -178,6 +295,18 @@ class MatchTrainer:
         tokenizer = IRTokenizer.from_state(meta["tokenizer"])
         trainer = cls(config, tokenizer=tokenizer)
         load_state(trainer._ensure_model(), path)
+        opt_meta = meta.get("optimizer")
+        if opt_meta is not None:
+            arrays = {
+                key.split(".", 1)[1]: arr
+                for key, arr in read_extra(path).items()
+                if key.startswith("opt.")
+            }
+            trainer._restored_opt = {
+                "layout": opt_meta.get("layout"),
+                "config": opt_meta.get("config"),
+                "state": {"algo": opt_meta["algo"], "t": opt_meta.get("t", 0), **arrays},
+            }
         return trainer
 
     # --------------------------------------------------------- embeddings
@@ -245,15 +374,44 @@ class MatchTrainer:
         return np.atleast_1d(scores.data).astype(np.float32, copy=True)
 
     # ----------------------------------------------------------- predict
-    def predict(self, pairs: Sequence[MatchingPair], batch_size: int = 32) -> np.ndarray:
-        """Matching scores in [0, 1] for a pair list."""
+    def encode_pairs(
+        self, pairs: Sequence[MatchingPair], batch_size: int = 32
+    ) -> list:
+        """Tokenize + batch a pair list once; memoized by list identity.
+
+        The encoded batches are what :meth:`predict` consumes.  Early
+        stopping scores the same validation list every epoch, and the
+        calibration/test passes re-score the same split objects, so a small
+        identity-keyed memo (the pair lists are built once per dataset and
+        their *elements* never replaced in place) removes all repeat
+        encoding work; growing or shrinking a memoized list is detected by
+        the recorded length and re-encodes.
+        """
+        for entry_pairs, entry_len, entry_bs, encoded in self._encoded_memo:
+            # The length recorded at encode time catches the common list
+            # mutations (append/extend/del) that identity alone would miss.
+            if entry_pairs is pairs and entry_bs == batch_size and entry_len == len(pairs):
+                return encoded
+        encoded = [
+            self._encode_batch(pairs[start : start + batch_size])
+            for start in range(0, len(pairs), batch_size)
+        ]
+        self._encoded_memo.append((pairs, len(pairs), batch_size, encoded))
+        if len(self._encoded_memo) > 8:
+            self._encoded_memo.pop(0)
+        return encoded
+
+    def _predict_encoded(self, encoded: list) -> np.ndarray:
+        """Scores for pre-encoded batches (eval mode, no tape)."""
         model = self._ensure_model()
         model.eval()
         out: List[np.ndarray] = []
         with no_grad():
-            for start in range(0, len(pairs), batch_size):
-                chunk = pairs[start : start + batch_size]
-                batch, token_ids, _ = self._encode_batch(chunk)
+            for batch, token_ids, _ in encoded:
                 scores = model(batch, token_ids)
                 out.append(np.atleast_1d(scores.data))
         return np.concatenate(out) if out else np.zeros(0, dtype=np.float32)
+
+    def predict(self, pairs: Sequence[MatchingPair], batch_size: int = 32) -> np.ndarray:
+        """Matching scores in [0, 1] for a pair list."""
+        return self._predict_encoded(self.encode_pairs(pairs, batch_size))

@@ -1,0 +1,255 @@
+"""The experiment runner: fingerprinted, cached, parallel training runs.
+
+A training run is fully determined by ``(ModelConfig, dataset split
+content, trainer version)`` — the trainer's RNG streams all derive from
+``config.seed`` and the dataset is an explicit list of graph pairs — so a
+finished run can be content-addressed exactly like a compilation artifact.
+:func:`run_experiment` consults a :class:`~repro.exec.store.ModelStore`
+before training; a warm hit loads the checkpoint (fingerprint-equal to the
+trainer that wrote it, so every downstream metric row is identical) in a
+fraction of a percent of the training cost.
+
+:func:`run_grid` runs the *independent* trainings of a table — Table IV/V
+train ten models, the ablation benches eight — and can fan cold runs
+across a multiprocessing pool.  Workers only fill the store; the parent
+then loads every entry in order, so grid output is identical to the
+serial path by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import shutil
+import tempfile
+import time
+import weakref
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.config import ModelConfig
+from repro.core.trainer import MatchTrainer, TrainReport
+from repro.data.pairs import PairDataset
+from repro.exec.store import RUNNER_VERSION, ModelStore
+
+PathLike = str
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One training run: a named model configuration.
+
+    ``name`` is cosmetic (display / store metadata); the fingerprint covers
+    only ``config`` and ``early_stopping``, so two specs that train the
+    same model on the same dataset share one cache entry whatever they are
+    called.
+    """
+
+    name: str
+    config: ModelConfig
+    early_stopping: bool = True
+
+
+@dataclass
+class ExperimentRun:
+    """A finished (or cache-served) training run."""
+
+    spec: ExperimentSpec
+    fingerprint: str
+    trainer: MatchTrainer
+    from_cache: bool
+    seconds: float
+    report: Optional[TrainReport] = None
+    report_meta: Dict[str, object] = field(default_factory=dict)
+
+
+# Dataset fingerprints are content hashes over every split's graphs and
+# labels; graphs repeat across pairs (and datasets are built once and
+# reused by a whole bench process), so both levels memoize — per-graph by
+# object identity inside one call, per-dataset by weakly-referenced
+# identity across calls.
+_DATASET_FP_MEMO: Dict[int, Tuple["weakref.ref", str]] = {}
+
+
+def dataset_fingerprint(dataset: PairDataset) -> str:
+    """Content hash of a :class:`PairDataset` (splits, graphs, labels)."""
+    key = id(dataset)
+    hit = _DATASET_FP_MEMO.get(key)
+    if hit is not None:
+        ref, fp = hit
+        if ref() is dataset:
+            return fp
+    from repro.index.embedding_index import graph_fingerprint
+
+    graph_memo: Dict[int, str] = {}
+
+    def gfp(graph) -> str:
+        g_key = id(graph)
+        cached = graph_memo.get(g_key)
+        if cached is None:
+            cached = graph_memo[g_key] = graph_fingerprint(graph)
+        return cached
+
+    h = hashlib.sha256()
+    for split_name, pairs in (
+        ("train", dataset.train),
+        ("valid", dataset.valid),
+        ("test", dataset.test),
+    ):
+        h.update(f"{split_name}:{len(pairs)}".encode("utf-8"))
+        for pair in pairs:
+            h.update(gfp(pair.left).encode("ascii"))
+            h.update(gfp(pair.right).encode("ascii"))
+            h.update(f"{pair.label}:{pair.task_left}:{pair.task_right}".encode("utf-8"))
+    fp = h.hexdigest()
+    try:
+        # memo bound into the defaults: see the matching note in
+        # repro.nn.segments — globals may be gone when the callback fires.
+        ref = weakref.ref(
+            dataset, lambda _, k=key, memo=_DATASET_FP_MEMO: memo.pop(k, None)
+        )
+        _DATASET_FP_MEMO[key] = (ref, fp)
+    except TypeError:  # pragma: no cover - non-weakref-able dataset type
+        pass
+    return fp
+
+
+def experiment_fingerprint(spec: ExperimentSpec, dataset_fp: str) -> str:
+    """Content address of one training run.
+
+    Covers the full model config, the early-stopping protocol, the dataset
+    content hash and :data:`RUNNER_VERSION`; change any of them and the
+    old entry misses instead of serving a model the current code would not
+    train.
+    """
+    payload = "\x1f".join(
+        [
+            RUNNER_VERSION,
+            json.dumps(asdict(spec.config), sort_keys=True),
+            str(bool(spec.early_stopping)),
+            dataset_fp,
+        ]
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _report_meta(spec: ExperimentSpec, report: TrainReport, seconds: float) -> dict:
+    return {
+        "name": spec.name,
+        "config": asdict(spec.config),
+        "early_stopping": bool(spec.early_stopping),
+        "valid_f1": float(report.valid_f1),
+        "best_epoch": int(report.best_epoch),
+        "epochs": len(report.epoch_losses),
+        "final_loss": float(report.epoch_losses[-1]) if report.epoch_losses else None,
+        "train_seconds": float(seconds),
+        "timings": {k: float(v) for k, v in report.timings.items()},
+    }
+
+
+def run_experiment(
+    spec: ExperimentSpec,
+    dataset: PairDataset,
+    store: Optional[ModelStore] = None,
+    dataset_fp: Optional[str] = None,
+) -> ExperimentRun:
+    """Train ``spec`` on ``dataset``, or load it from the model store.
+
+    A warm hit returns a fingerprint-equal reloaded trainer: same weights,
+    same tokenizer, same predictions, identical downstream metric rows —
+    the store is a cache in the strict sense.  Pass ``dataset_fp`` when
+    the caller already computed it (grid runs share one dataset hash).
+    """
+    dataset_fp = dataset_fp or dataset_fingerprint(dataset)
+    fingerprint = experiment_fingerprint(spec, dataset_fp)
+    t0 = time.perf_counter()
+    if store is not None:
+        trainer = store.get(fingerprint)
+        if trainer is not None:
+            return ExperimentRun(
+                spec=spec,
+                fingerprint=fingerprint,
+                trainer=trainer,
+                from_cache=True,
+                seconds=time.perf_counter() - t0,
+                report_meta=ModelStore.read_meta(store.path_for(fingerprint)),
+            )
+    trainer = MatchTrainer(spec.config)
+    report = trainer.train(dataset, early_stopping=spec.early_stopping)
+    seconds = time.perf_counter() - t0
+    meta = _report_meta(spec, report, seconds)
+    if store is not None:
+        store.put(fingerprint, trainer, meta)
+    return ExperimentRun(
+        spec=spec,
+        fingerprint=fingerprint,
+        trainer=trainer,
+        from_cache=False,
+        seconds=seconds,
+        report=report,
+        report_meta=meta,
+    )
+
+
+def _train_into_store(payload) -> str:
+    """Worker entry point: train one grid job and persist it to the store."""
+    spec, dataset, store_root, fingerprint = payload
+    store = ModelStore(store_root)
+    if fingerprint not in store:
+        trainer = MatchTrainer(spec.config)
+        t0 = time.perf_counter()
+        report = trainer.train(dataset, early_stopping=spec.early_stopping)
+        store.put(
+            fingerprint, trainer, _report_meta(spec, report, time.perf_counter() - t0)
+        )
+    return fingerprint
+
+
+def run_grid(
+    jobs: Sequence[Tuple[ExperimentSpec, PairDataset]],
+    store: Optional[ModelStore] = None,
+    workers: int = 0,
+) -> List[ExperimentRun]:
+    """Run a table's independent trainings, optionally across processes.
+
+    Each job's RNG streams derive only from its own ``config.seed``, so
+    jobs are independent and the parallel schedule cannot change any
+    result: with ``workers > 1`` the cold jobs are fanned over a
+    multiprocessing pool that only *fills the store*, and every run —
+    warm or cold — is then materialized in order through
+    :func:`run_experiment`, making grid output identical to the serial
+    path by construction.  Without a store, parallel runs use a temporary
+    one for the duration of the call.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    jobs = list(jobs)
+    scratch: Optional[str] = None
+    if store is None and workers > 1 and len(jobs) > 1:
+        scratch = tempfile.mkdtemp(prefix="repro-models-")
+        store = ModelStore(scratch)
+    try:
+        if store is not None and workers > 1:
+            fps: List[str] = [
+                experiment_fingerprint(spec, dataset_fingerprint(dataset))
+                for spec, dataset in jobs
+            ]
+            todo = [
+                (spec, dataset, str(store.root), fp)
+                for (spec, dataset), fp in zip(jobs, fps)
+                if fp not in store
+            ]
+            # Deduplicate by fingerprint so two same-config jobs don't train
+            # twice; strided chunks keep every pool slot busy.
+            todo = list({payload[3]: payload for payload in todo}.values())
+            if len(todo) > 1:
+                fan_out = min(workers, len(todo))
+                with multiprocessing.Pool(fan_out) as pool:
+                    pool.map(_train_into_store, todo)
+            elif todo:
+                _train_into_store(todo[0])
+        return [run_experiment(spec, dataset, store=store) for spec, dataset in jobs]
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)

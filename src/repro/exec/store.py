@@ -1,0 +1,135 @@
+"""Content-addressed on-disk store for *trained* models.
+
+Mirrors :class:`repro.artifacts.ArtifactStore`, one level up the stack:
+entries are finished :class:`~repro.core.trainer.MatchTrainer` checkpoints
+(weights + tokenizer + optimizer moments, via ``MatchTrainer.save``'s
+pickle-free ``.npz``) addressed by an experiment fingerprint computed in
+:mod:`repro.exec.runner`.  Writes are atomic (temp file + ``os.replace``),
+so parallel grid workers share one store without locks; unreadable or
+mismatched entries are misses, never errors.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.core.trainer import MatchTrainer
+
+PathLike = Union[str, Path]
+
+# Pins the trainer implementation in every experiment fingerprint: bump
+# when training semantics change observably (optimizer math, batching,
+# early-stopping rule), so stale cached models miss instead of serving
+# results the current code would not produce.
+RUNNER_VERSION = "train-1"
+
+
+class ModelStore:
+    """Directory of content-addressed trained-model checkpoints.
+
+    ``get``/``put`` speak :class:`MatchTrainer`; ``hits``/``misses`` count
+    lookups for reporting (the ``experiment`` CLI and ``bench_train``
+    print them).
+    """
+
+    def __init__(self, root: PathLike):  # noqa: D107
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------- layout
+    def path_for(self, fingerprint: str) -> Path:
+        """Entry path: two-hex-char shard directory + full fingerprint."""
+        return self.root / fingerprint[:2] / (fingerprint + ".npz")
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """True when an entry exists on disk (no validation, no counters)."""
+        return self.path_for(fingerprint).exists()
+
+    def _entry_paths(self):
+        """Stored checkpoints, excluding in-flight ``.<fp>.<pid>.tmp.npz``
+        temps (pathlib's ``*`` matches dotfiles, and a killed writer can
+        leave one behind)."""
+        return (p for p in self.root.glob("*/*.npz") if not p.name.startswith("."))
+
+    def __len__(self) -> int:
+        """Number of stored checkpoints."""
+        return sum(1 for _ in self._entry_paths())
+
+    def size_bytes(self) -> int:
+        """Total on-disk size of all entries."""
+        return sum(p.stat().st_size for p in self._entry_paths())
+
+    # -------------------------------------------------------------- write
+    def put(self, fingerprint: str, trainer: MatchTrainer, meta: dict) -> Path:
+        """Persist a trained model; atomic, safe under concurrent writers.
+
+        ``meta`` is stored under the checkpoint's ``experiment`` key — the
+        runner records the fingerprint, spec name, report summary and
+        timing there; ``get`` validates the fingerprint on the way back.
+        """
+        path = self.path_for(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{fingerprint}.{os.getpid()}.tmp.npz")
+        try:
+            trainer.save(
+                str(tmp), extra_meta={"experiment": {**meta, "fingerprint": fingerprint}}
+            )
+            os.replace(tmp, path)
+        except BaseException:
+            if tmp.exists():
+                tmp.unlink()
+            raise
+        return path
+
+    # --------------------------------------------------------------- read
+    def get(self, fingerprint: str) -> Optional[MatchTrainer]:
+        """Load a trained model, or ``None`` on any miss (absent, corrupt, stale)."""
+        path = self.path_for(fingerprint)
+        try:
+            trainer = MatchTrainer.load(str(path))
+            meta = self.read_meta(path)
+            if meta.get("fingerprint") != fingerprint:
+                self.misses += 1
+                return None
+        except Exception:  # noqa: BLE001 - cache read: unreadable entry = miss
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trainer
+
+    @staticmethod
+    def read_meta(path: PathLike) -> dict:
+        """The ``experiment`` metadata of one stored checkpoint."""
+        from repro.nn.serialize import read_meta
+
+        meta = read_meta(str(path)) or {}
+        return meta.get("experiment", {})
+
+    def entries(self) -> List[dict]:
+        """Experiment metadata of every stored checkpoint (for ``list``)."""
+        out = []
+        for path in sorted(self._entry_paths()):
+            try:
+                meta = self.read_meta(path)
+            except Exception:  # noqa: BLE001 - skip unreadable entries
+                continue
+            meta = dict(meta)
+            meta["path"] = str(path)
+            meta["bytes"] = path.stat().st_size
+            out.append(meta)
+        return out
+
+    # ---------------------------------------------------------- reporting
+    def stats(self) -> dict:
+        """Counters + on-disk footprint for status displays."""
+        return {
+            "root": str(self.root),
+            "entries": len(self),
+            "bytes": self.size_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -109,6 +109,12 @@ class GATv2Conv(Module):
             plan = build_conv_plan(edge_index, edge_pos, n, self.add_self_loops)
         elif plan.num_nodes != n:
             raise ValueError(f"plan built for {plan.num_nodes} nodes, batch has {n}")
+        elif plan.add_self_loops != self.add_self_loops:
+            raise ValueError(
+                f"plan built with add_self_loops={plan.add_self_loops}, layer "
+                f"expects {self.add_self_loops}: self edges would be "
+                f"{'double-counted' if plan.add_self_loops else 'dropped'}"
+            )
         src, dst = plan.src, plan.dst
 
         x_src = x @ self.w_src  # (N, H*D)

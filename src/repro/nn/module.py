@@ -85,6 +85,22 @@ class Module:
         """Total number of scalar weights."""
         return sum(p.size for p in self.parameters())
 
+    def layout_fingerprint(self) -> str:
+        """Content hash of the parameter *layout* (names, shapes, order).
+
+        Two modules share a fingerprint exactly when a flat optimizer-state
+        buffer (see :class:`repro.nn.optim.ParameterArena`) recorded against
+        one can be replayed against the other.  Checkpoint resume validates
+        this before importing saved Adam moments.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        for name, p in self.named_parameters():
+            h.update(name.encode("utf-8"))
+            h.update(repr(tuple(p.data.shape)).encode("utf-8"))
+        return h.hexdigest()[:16]
+
     # ----------------------------------------------------------- train/eval
     def train(self, mode: bool = True) -> "Module":
         """Set train/eval mode recursively (affects dropout)."""

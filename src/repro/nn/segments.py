@@ -21,8 +21,9 @@ and every epoch.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
@@ -159,6 +160,38 @@ def seg_counts(index: SegmentIndex) -> np.ndarray:
     return out
 
 
+# Memo for the SegmentIndex built inside scatter_add_rows, keyed by the
+# *identity* of the index array.  Gather backwards run once per training
+# step over index arrays that are reused across steps — the token-dedup
+# ``inverse`` and ``graph_index`` arrays of an encoded batch are the same
+# ndarray objects every epoch — yet each backward paid a fresh stable sort.
+# A bounded LRU (an entry's SegmentIndex keeps the keyed array alive, so
+# weakref-based eviction can never fire; the cap bounds memory instead):
+# one epoch touches a few arrays per encoded batch, far below the cap.
+# Entries pin their keyed array, so a hit on ``(id, rows)`` is always the
+# same object; the identity re-check is belt-and-braces.  In-place mutation
+# of a memoized index array would go unnoticed; index arrays in this
+# codebase are build-once (batching/tokenization outputs).
+_SCATTER_INDEX_MEMO: "OrderedDict[Tuple[int, int], Tuple[np.ndarray, SegmentIndex]]" = (
+    OrderedDict()
+)
+_SCATTER_INDEX_MEMO_CAP = 256
+
+
+def _memoized_segment_index(ids: np.ndarray, num_rows: int) -> SegmentIndex:
+    key = (id(ids), int(num_rows))
+    hit = _SCATTER_INDEX_MEMO.get(key)
+    if hit is not None and hit[0] is ids:
+        _SCATTER_INDEX_MEMO.move_to_end(key)
+        return hit[1]
+    index = SegmentIndex(ids, num_rows)
+    _SCATTER_INDEX_MEMO[key] = (ids, index)
+    _SCATTER_INDEX_MEMO.move_to_end(key)
+    while len(_SCATTER_INDEX_MEMO) > _SCATTER_INDEX_MEMO_CAP:
+        _SCATTER_INDEX_MEMO.popitem(last=False)
+    return index
+
+
 def scatter_add_rows(
     num_rows: int, indices: np.ndarray, updates: np.ndarray
 ) -> np.ndarray:
@@ -166,14 +199,17 @@ def scatter_add_rows(
 
     ``indices`` may have any shape; ``updates`` must have shape
     ``indices.shape + rest``.  Returns ``(num_rows,) + rest``.  This is the
-    backward of every gather (embedding lookup, fancy row indexing).
+    backward of every gather (embedding lookup, fancy row indexing).  The
+    sorted :class:`SegmentIndex` is memoized per index-array object, so the
+    gathers of a reused encoded batch pay the stable sort once per run, not
+    once per backward pass.
     """
     idx = np.asarray(indices, dtype=np.int64)
     rest = updates.shape[idx.ndim :]
     if idx.size == 0:
         return np.zeros((num_rows,) + rest, dtype=np.float32)
     flat_updates = updates.reshape(idx.size, -1) if rest else updates.reshape(idx.size, 1)
-    index = SegmentIndex(idx, num_rows)
+    index = _memoized_segment_index(idx, num_rows)
     summed = seg_sum(flat_updates, index)  # (num_rows, prod(rest) or 1)
     return summed.reshape((num_rows,) + rest)
 
@@ -193,6 +229,10 @@ class ConvPlan:
     pos: Optional[np.ndarray]
     dst_index: SegmentIndex
     num_nodes: int
+    # Whether self edges were appended during construction.  Consumers
+    # (GATv2Conv) validate this against their own setting: a mismatched
+    # plan would silently drop or double-count self edges.
+    add_self_loops: bool = True
 
 
 def build_conv_plan(
@@ -226,4 +266,5 @@ def build_conv_plan(
         pos=pos,
         dst_index=SegmentIndex(dst, num_nodes),
         num_nodes=num_nodes,
+        add_self_loops=add_self_loops,
     )

@@ -20,15 +20,27 @@ from repro.nn.module import Module
 PathLike = Union[str, Path]
 
 _META_KEY = "__meta_json__"
+_EXTRA_PREFIX = "extra:"
 
 
-def save_state(module: Module, path: PathLike, meta: Optional[dict] = None) -> None:
+def save_state(
+    module: Module,
+    path: PathLike,
+    meta: Optional[dict] = None,
+    extra: Optional[Dict[str, np.ndarray]] = None,
+) -> None:
     """Write a module's state-dict (and optional JSON metadata) to ``path``.
 
-    The ``.npz`` extension is appended by NumPy if missing.
+    ``extra`` arrays ride along under an ``extra:`` key prefix — outside
+    the module state, so :func:`load_state`'s strict state check ignores
+    them (optimizer moments use this; see ``MatchTrainer.save``).  The
+    ``.npz`` extension is appended by NumPy if missing.
     """
     state = module.state_dict()
     payload: Dict[str, np.ndarray] = dict(state)
+    if extra is not None:
+        for key, arr in extra.items():
+            payload[f"{_EXTRA_PREFIX}{key}"] = np.asarray(arr)
     if meta is not None:
         payload[_META_KEY] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
@@ -41,16 +53,32 @@ def load_state(module: Module, path: PathLike) -> Optional[dict]:
 
     Returns the metadata dict (or None).  Raises ``KeyError``/``ValueError``
     on any parameter-name or shape mismatch — a checkpoint for a different
-    architecture never half-loads.
+    architecture never half-loads.  ``extra:`` arrays are not part of the
+    module state; read them with :func:`read_extra`.
     """
     path = _resolve(path)
     with np.load(path) as archive:
-        state = {k: archive[k] for k in archive.files if k != _META_KEY}
+        state = {
+            k: archive[k]
+            for k in archive.files
+            if k != _META_KEY and not k.startswith(_EXTRA_PREFIX)
+        }
         meta = None
         if _META_KEY in archive.files:
             meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
     module.load_state_dict(state)
     return meta
+
+
+def read_extra(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read the ``extra`` arrays of a checkpoint (empty dict when none)."""
+    path = _resolve(path)
+    out: Dict[str, np.ndarray] = {}
+    with np.load(path) as archive:
+        for k in archive.files:
+            if k.startswith(_EXTRA_PREFIX):
+                out[k[len(_EXTRA_PREFIX) :]] = archive[k]
+    return out
 
 
 def read_meta(path: PathLike) -> Optional[dict]:

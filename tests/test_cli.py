@@ -340,3 +340,45 @@ class TestIndexCommands:
         assert len(lines[1]["hits"]) == 2
         assert "error" in lines[2]
         assert "served 3 requests" in captured.err
+
+
+class TestExperimentCommand:
+    ARGS = ["--binary-langs", "c", "--source-langs", "java",
+            "--num-tasks", "6", "--variants", "1", "--epochs", "2"]
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["experiment", "run"])
+        assert args.num_tasks == 12
+        assert args.epochs == 12
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment"])
+
+    def test_run_without_store_trains(self, capsys):
+        assert main(["experiment", "run", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        assert "trained" in out
+        assert "no store" in out
+        assert "f1=" in out
+
+    def test_run_cold_then_warm_identical_rows(self, tmp_path, capsys):
+        store = ["--store", str(tmp_path / "models")]
+        assert main(["experiment", "run", *self.ARGS, *store]) == 0
+        cold_out = capsys.readouterr().out
+        assert "trained" in cold_out
+        assert main(["experiment", "run", *self.ARGS, *store]) == 0
+        warm_out = capsys.readouterr().out
+        assert "cache hit" in warm_out
+        # Identical metric rows from the reloaded trainer.
+        assert cold_out.splitlines()[-1] == warm_out.splitlines()[-1]
+
+    def test_list_shows_entries(self, tmp_path, capsys):
+        store = ["--store", str(tmp_path / "models")]
+        assert main(["experiment", "run", *self.ARGS, "--name", "listed", *store]) == 0
+        capsys.readouterr()
+        assert main(["experiment", "list", str(tmp_path / "models")]) == 0
+        out = capsys.readouterr().out
+        assert "1 experiments" in out
+        assert "listed" in out
+        assert "valid_f1=" in out

@@ -206,3 +206,44 @@ class TestPooling:
         x = Tensor(np.arange(8, dtype=np.float32).reshape(4, 2))
         out = MeanPool()(x, np.array([0, 0, 1, 1]), 2).data
         np.testing.assert_allclose(out, [[1.0, 2.0], [5.0, 6.0]])
+
+
+class TestConvPlanValidation:
+    def _setup(self, add_self_loops=True):
+        conv = GATv2Conv(6, 8, add_self_loops=add_self_loops)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 6)).astype(np.float32))
+        edges = np.array([[0, 1, 2], [1, 2, 3]], dtype=np.int64)
+        return conv, x, edges
+
+    def test_matching_plan_accepted(self):
+        from repro.nn.segments import build_conv_plan
+
+        conv, x, edges = self._setup()
+        plan = build_conv_plan(edges, None, 4, add_self_loops=True)
+        direct = conv(x, edges)
+        via_plan = conv(x, plan=plan)
+        np.testing.assert_allclose(via_plan.data, direct.data)
+
+    def test_self_loop_mismatch_rejected(self):
+        from repro.nn.segments import build_conv_plan
+
+        conv, x, edges = self._setup(add_self_loops=True)
+        plan = build_conv_plan(edges, None, 4, add_self_loops=False)
+        with pytest.raises(ValueError, match="add_self_loops"):
+            conv(x, plan=plan)
+
+    def test_mismatch_rejected_both_directions(self):
+        from repro.nn.segments import build_conv_plan
+
+        conv, x, edges = self._setup(add_self_loops=False)
+        plan = build_conv_plan(edges, None, 4, add_self_loops=True)
+        with pytest.raises(ValueError, match="add_self_loops"):
+            conv(x, plan=plan)
+
+    def test_node_count_mismatch_still_rejected(self):
+        from repro.nn.segments import build_conv_plan
+
+        conv, x, edges = self._setup()
+        plan = build_conv_plan(edges, None, 9, add_self_loops=True)
+        with pytest.raises(ValueError, match="nodes"):
+            conv(x, plan=plan)

@@ -212,3 +212,46 @@ class TestConvPlan:
         plan = build_conv_plan(None, None, 5)
         assert isinstance(plan, ConvPlan)
         assert plan.num_nodes == 5
+
+
+class TestScatterIndexMemo:
+    def test_same_array_object_reuses_index(self):
+        from repro.nn.segments import _SCATTER_INDEX_MEMO, _memoized_segment_index
+
+        ids = np.array([0, 2, 2, 1], dtype=np.int64)
+        first = _memoized_segment_index(ids, 3)
+        second = _memoized_segment_index(ids, 3)
+        assert first is second
+        assert (id(ids), 3) in _SCATTER_INDEX_MEMO
+
+    def test_num_rows_is_part_of_the_key(self):
+        from repro.nn.segments import _memoized_segment_index
+
+        ids = np.array([0, 1], dtype=np.int64)
+        assert _memoized_segment_index(ids, 2) is not _memoized_segment_index(ids, 4)
+
+    def test_lru_cap_bounds_entries(self):
+        from repro.nn.segments import (
+            _SCATTER_INDEX_MEMO,
+            _SCATTER_INDEX_MEMO_CAP,
+            _memoized_segment_index,
+        )
+
+        keep = [np.array([0, 1], dtype=np.int64) for _ in range(20)]
+        for ids in keep:
+            _memoized_segment_index(ids, 2)
+        for _ in range(_SCATTER_INDEX_MEMO_CAP + 8):
+            _memoized_segment_index(np.array([0, 1], dtype=np.int64), 2)
+        assert len(_SCATTER_INDEX_MEMO) <= _SCATTER_INDEX_MEMO_CAP
+        # The early entries were least recently used and must be gone.
+        assert (id(keep[0]), 2) not in _SCATTER_INDEX_MEMO
+
+    def test_scatter_add_rows_memoized_result_correct(self):
+        ids = np.array([1, 0, 1, 2], dtype=np.int64)
+        updates = np.arange(8, dtype=np.float32).reshape(4, 2)
+        want = np.zeros((3, 2), dtype=np.float32)
+        np.add.at(want, ids, updates)
+        first = scatter_add_rows(3, ids, updates)
+        second = scatter_add_rows(3, ids, updates * 2)
+        np.testing.assert_allclose(first, want)
+        np.testing.assert_allclose(second, want * 2)

@@ -109,3 +109,128 @@ class TestTrainingDeterminism:
         a = MatchTrainer(_cfg(seed=1)).train(dataset)
         b = MatchTrainer(_cfg(seed=2)).train(dataset)
         assert not np.allclose(a.epoch_losses, b.epoch_losses)
+
+
+class TestTrainReportTimings:
+    def test_phase_timings_recorded(self, dataset):
+        tr = MatchTrainer(_cfg())
+        report = tr.train(dataset, early_stopping=True)
+        for phase in ("encode", "train", "optimize", "valid"):
+            assert phase in report.timings
+            assert report.timings[phase] >= 0.0
+        assert report.timings["train"] > 0.0
+        assert len(report.epoch_seconds) == tr.config.epochs
+
+    def test_valid_timing_zero_without_early_stopping(self, dataset):
+        tr = MatchTrainer(_cfg())
+        report = tr.train(dataset, early_stopping=False)
+        assert report.timings["valid"] == 0.0
+
+
+class TestEncodedPairMemo:
+    def test_same_list_encoded_once(self, dataset):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        first = tr.encode_pairs(dataset.valid)
+        second = tr.encode_pairs(dataset.valid)
+        assert first is second
+
+    def test_different_lists_encoded_separately(self, dataset):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        assert tr.encode_pairs(dataset.valid) is not tr.encode_pairs(dataset.test)
+
+    def test_batch_size_part_of_key(self, dataset):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        assert tr.encode_pairs(dataset.valid, 32) is not tr.encode_pairs(dataset.valid, 8)
+
+    def test_predict_scores_unchanged_by_memo(self, dataset):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        np.testing.assert_array_equal(
+            tr.predict(dataset.test), tr.predict(dataset.test)
+        )
+
+    def test_predict_matches_fresh_trainer_on_copy(self, dataset):
+        # A memo hit must not leak stale encodings across equal-content,
+        # different-identity lists.
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        copied = list(dataset.test)
+        np.testing.assert_array_equal(tr.predict(copied), tr.predict(dataset.test))
+
+
+class TestOptimizerResume:
+    def test_checkpoint_carries_optimizer_state(self, dataset, tmp_path):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        t_first = tr.optimizer.t
+        assert t_first > 0
+        tr.save(tmp_path / "ck.npz")
+        reloaded = MatchTrainer.load(tmp_path / "ck.npz")
+        assert reloaded._restored_opt is not None
+        reloaded.train(dataset)
+        assert reloaded.optimizer.t == 2 * t_first  # moments continued, not reset
+
+    def test_restored_moments_match_saved(self, dataset, tmp_path):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        saved = tr.optimizer.state_export()
+        tr.save(tmp_path / "ck.npz")
+        reloaded = MatchTrainer.load(tmp_path / "ck.npz")
+        state = reloaded._restored_opt["state"]
+        assert int(state["t"]) == saved["t"]
+        np.testing.assert_array_equal(np.asarray(state["m"]), saved["m"])
+        np.testing.assert_array_equal(np.asarray(state["v"]), saved["v"])
+
+    def test_resume_rejects_config_mismatch(self, dataset, tmp_path):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        tr.save(tmp_path / "ck.npz")
+        reloaded = MatchTrainer.load(tmp_path / "ck.npz")
+        reloaded.config = _cfg(learning_rate=9e-9)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            reloaded.train(dataset)
+
+    def test_resume_rejects_layout_mismatch(self, dataset, tmp_path):
+        from repro.core.model import GraphBinMatch
+
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        tr.save(tmp_path / "ck.npz")
+        reloaded = MatchTrainer.load(tmp_path / "ck.npz")
+        reloaded.model = GraphBinMatch(reloaded.tokenizer.vocab_size + 7, reloaded.config)
+        with pytest.raises(ValueError, match="refusing to resume"):
+            reloaded.train(dataset)
+
+    def test_untrained_checkpoint_has_no_optimizer_state(self, dataset, tmp_path):
+        tr = MatchTrainer(_cfg())
+        tr.fit_tokenizer(dataset.train)
+        tr._ensure_model()
+        tr.save(tmp_path / "ck.npz")
+        reloaded = MatchTrainer.load(tmp_path / "ck.npz")
+        assert reloaded._restored_opt is None
+        reloaded.train(dataset)  # trains from scratch without complaint
+
+
+class TestReviewRegressions:
+    def test_predict_reencodes_after_list_growth(self, dataset):
+        tr = MatchTrainer(_cfg())
+        tr.train(dataset)
+        pairs = list(dataset.test)
+        first = tr.predict(pairs)
+        pairs.append(dataset.valid[0])
+        second = tr.predict(pairs)
+        assert len(second) == len(first) + 1
+        np.testing.assert_array_equal(second[: len(first)], first)
+
+    def test_early_stopping_restores_best_epoch_moments(self, dataset):
+        import math
+
+        tr = MatchTrainer(_cfg(epochs=4))
+        report = tr.train(dataset, early_stopping=True)
+        steps_per_epoch = math.ceil(len(dataset.train) / tr.config.batch_pairs)
+        # Optimizer state must correspond to the restored best-epoch
+        # weights, not to wherever the last epoch wandered.
+        assert tr.optimizer.t == steps_per_epoch * (report.best_epoch + 1)
