@@ -30,7 +30,13 @@ from repro.data.corpus import CorpusBuilder
 from repro.index import EmbeddingIndex, ShardedEmbeddingIndex
 from repro.utils.tables import Table
 
-from benchmarks.common import bench_data_cfg, crosslang_dataset, run_once, trained_gbm
+from benchmarks.common import (
+    bench_data_cfg,
+    crosslang_dataset,
+    run_once,
+    trained_gbm,
+    write_perf_record,
+)
 
 NUM_QUERIES = 32
 CORPUS_SIZE = 50
@@ -124,3 +130,16 @@ def test_serve_throughput(benchmark):
     assert r["scores_equal"]
     assert r["orders_sharded"] == r["orders_batched"]
     assert r["resident_before"] == 0
+
+    write_perf_record(
+        "serve",
+        {
+            "per_query_s": r["per_query_s"],
+            "batched_s": r["batched_s"],
+            "sharded_s": r["sharded_s"],
+            "batched_speedup": r["per_query_s"] / r["batched_s"],
+            "num_queries": NUM_QUERIES,
+            "corpus_size": CORPUS_SIZE,
+            "num_shards": r["num_shards"],
+        },
+    )

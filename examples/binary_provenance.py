@@ -7,7 +7,11 @@ GraphBinMatch, saves/loads a checkpoint (the workflow a security team would
 script), and reports ranked-retrieval quality.
 
 Run:  python examples/binary_provenance.py
+
+Set ``REPRO_SMOKE=1`` for the CI-sized run (smaller corpus, fewer epochs).
 """
+
+import os
 
 import numpy as np
 
@@ -18,14 +22,20 @@ from repro.eval.experiments import build_crosslang_dataset
 from repro.eval.retrieval import evaluate_retrieval, retrieval_corpus_from_samples
 
 SEED = 3
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+TRAIN_TASKS = 6 if SMOKE else 12
+CORPUS_TASKS = 6 if SMOKE else 10
+EPOCHS = 2 if SMOKE else 10
 
 
 def main() -> None:
     # 1. Train a compact matcher on cross-language binary<->source pairs.
-    data_cfg = DataConfig(num_tasks=12, variants=2, seed=SEED, max_pairs_per_task=4)
+    data_cfg = DataConfig(
+        num_tasks=TRAIN_TASKS, variants=2, seed=SEED, max_pairs_per_task=4
+    )
     dataset, _ = build_crosslang_dataset(data_cfg, ["c", "cpp"], ["java"])
     print(f"training pairs: {len(dataset.train)}")
-    trainer = MatchTrainer(scaled(cpu_config(seed=SEED), epochs=10))
+    trainer = MatchTrainer(scaled(cpu_config(seed=SEED), epochs=EPOCHS))
     report = trainer.train(dataset, early_stopping=True)
     print(f"best epoch {report.best_epoch}, valid F1 {report.valid_f1:.2f}")
 
@@ -35,7 +45,7 @@ def main() -> None:
     print("checkpoint reloaded")
 
     # 3. Fresh corpus: binaries we "found", sources we index.
-    corpus_cfg = DataConfig(num_tasks=10, variants=1, seed=SEED + 1)
+    corpus_cfg = DataConfig(num_tasks=CORPUS_TASKS, variants=1, seed=SEED + 1)
     samples = CorpusBuilder(corpus_cfg).build(["c", "java"])
     binaries = retrieval_corpus_from_samples(
         [s for s in samples if s.language == "c"][:6], "binary"

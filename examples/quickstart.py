@@ -5,13 +5,19 @@ corpus (C/C++ binaries vs Java sources), trains the scaled model, reports
 test metrics, and scores one concrete binary-source pair.
 
     python examples/quickstart.py
+
+Set ``REPRO_SMOKE=1`` for the CI-sized run (fewer epochs, same path).
 """
+
+import os
 
 import numpy as np
 
 from repro.config import cpu_config, scaled, tiny_data_config
 from repro.eval.experiments import build_crosslang_dataset, run_graphbinmatch
 from repro.utils.timing import timed
+
+EPOCHS = 2 if os.environ.get("REPRO_SMOKE") == "1" else 20
 
 
 def main() -> None:
@@ -24,7 +30,7 @@ def main() -> None:
     print(f"pairs: train={train} valid={valid} test={test}")
 
     with timed("train + evaluate"):
-        result = run_graphbinmatch(dataset, scaled(cpu_config(), epochs=20))
+        result = run_graphbinmatch(dataset, scaled(cpu_config(), epochs=EPOCHS))
     m = result.metrics
     print(
         f"test precision={m.precision:.2f} recall={m.recall:.2f} "

@@ -6,7 +6,11 @@ hand it a *stripped-context* binary (compiled from a C program it never
 saw) and a shelf of candidate Java sources; the pipeline ranks candidates.
 
     python examples/reverse_engineering.py
+
+Set ``REPRO_SMOKE=1`` for the CI-sized run (fewer epochs, same path).
 """
+
+import os
 
 from repro.config import cpu_config, scaled, tiny_data_config
 from repro.core.pipeline import MatcherPipeline, compile_to_views
@@ -14,13 +18,15 @@ from repro.core.trainer import MatchTrainer
 from repro.eval.experiments import build_crosslang_dataset
 from repro.lang.generator import SolutionGenerator
 
+EPOCHS = 2 if os.environ.get("REPRO_SMOKE") == "1" else 20
+
 
 def main() -> None:
     print("== binary → source retrieval ==")
     dataset, _ = build_crosslang_dataset(
         tiny_data_config(), binary_langs=["c", "cpp"], source_langs=["java"]
     )
-    trainer = MatchTrainer(scaled(cpu_config(), epochs=20))
+    trainer = MatchTrainer(scaled(cpu_config(), epochs=EPOCHS))
     trainer.train(dataset)
     pipe = MatcherPipeline(trainer)
 

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Check every relative markdown link in README.md and docs/.
+
+The docs set is cross-linked page-to-page and section-to-section; a
+renamed heading or moved file silently strands readers.  This checker
+fails the build on:
+
+* links to files that do not exist (relative targets, resolved against
+  the linking file's directory);
+* ``#anchor`` fragments that match no heading in the target file
+  (GitHub-style slugs: lowercase, punctuation stripped, spaces to
+  hyphens).
+
+External links (http/https/mailto) are out of scope — CI must not fail
+on somebody else's outage.
+
+Usage: python scripts/check_doc_links.py [root]
+"""
+
+from __future__ import annotations
+
+import functools
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_SLUG_STRIP = re.compile(r"[^\w\s-]", re.UNICODE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces → '-'."""
+    text = heading.strip().lower()
+    text = text.replace("`", "")
+    text = _SLUG_STRIP.sub("", text)
+    return text.replace(" ", "-")
+
+
+@functools.lru_cache(maxsize=None)
+def anchors_of(path: Path) -> frozenset:
+    """Heading slugs of one file, parsed once however many links point at it."""
+    return frozenset(
+        github_slug(m.group(1)) for m in HEADING_RE.finditer(path.read_text())
+    )
+
+
+def check_file(path: Path, root: Path) -> list:
+    errors = []
+    for match in LINK_RE.finditer(path.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = path if not file_part else (path.parent / file_part).resolve()
+        if not dest.exists():
+            errors.append(f"{path.relative_to(root)}: broken link -> {target}")
+            continue
+        if anchor and dest.suffix == ".md" and github_slug(anchor) not in anchors_of(dest):
+            errors.append(
+                f"{path.relative_to(root)}: dangling anchor -> {target}"
+            )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    files = [root / "README.md"] + sorted((root / "docs").glob("*.md"))
+    errors = []
+    checked = 0
+    for path in files:
+        if not path.exists():
+            errors.append(f"missing expected file: {path.relative_to(root)}")
+            continue
+        checked += 1
+        errors.extend(check_file(path, root))
+    if errors:
+        print("doc link check: FAIL", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"doc link check: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 test suite + a ~30s end-to-end smoke.
+# Repo verification: tier-1 test suite + an end-to-end smoke.
 #
 # The smoke exercises the full user path the README quickstart promises:
 # train a tiny model, build an embedding index over a source corpus, and
 # query it with a compiled binary — through the CLI, not test harnesses.
+# It then runs the workload gates (training throughput, robustness) at
+# smoke scale, every example under REPRO_SMOKE=1, and the docs link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -68,6 +70,24 @@ if ! grep -q "cache hit" <<<"$warm_exp"; then
 fi
 python -m repro experiment list "$tmp/models"
 
+echo "== smoke: robustness sweep (transform cache + clean-index reuse) =="
+rob_out="$(python -m repro robustness "$tmp/model.npz" --num-tasks 6 \
+  --transforms deadcode,regrename --intensities 1 \
+  --store "$tmp/rob-artifacts" --index "$tmp/rob-index" --json "$tmp/matrix.json")"
+echo "$rob_out"
+# Warm rerun must hit the artifact store for every compilation.
+warm_rob="$(python -m repro robustness "$tmp/model.npz" --num-tasks 6 \
+  --transforms deadcode,regrename --intensities 1 \
+  --store "$tmp/rob-artifacts" --index "$tmp/rob-index")"
+if ! grep -q ", 0 misses" <<<"$warm_rob"; then
+  echo "verify: FAIL — warm robustness rerun did not hit the artifact store" >&2
+  exit 1
+fi
+if [ ! -s "$tmp/matrix.json" ]; then
+  echo "verify: FAIL — robustness --json wrote no matrix" >&2
+  exit 1
+fi
+
 echo "== bench: training-throughput gates (smoke scale) =="
 # Gates: warm experiment ≥5x with identical rows, parallel grid identical
 # to serial, fused optimizer parity + step speedup.  Also refreshes the
@@ -77,5 +97,24 @@ if [ ! -f benchmarks/perf/BENCH_train.json ]; then
   echo "verify: FAIL — bench_train did not write benchmarks/perf/BENCH_train.json" >&2
   exit 1
 fi
+
+echo "== bench: robustness gates (smoke scale) =="
+# Gates: every transform bit-deterministic under a fixed seed, clean
+# baseline equal to the direct retrieval sweep, warm sweep ≥3x via the
+# cached clean embeddings + artifact store.  Writes BENCH_robustness.json.
+REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_robustness.py -x -q
+if [ ! -f benchmarks/perf/BENCH_robustness.json ]; then
+  echo "verify: FAIL — bench_robustness did not write benchmarks/perf/BENCH_robustness.json" >&2
+  exit 1
+fi
+
+echo "== examples: every examples/*.py must exit 0 under smoke settings =="
+for example in examples/*.py; do
+  echo "-- $example"
+  REPRO_SMOKE=1 python "$example" > /dev/null
+done
+
+echo "== docs: link check (no dangling files or anchors) =="
+python scripts/check_doc_links.py
 
 echo "verify: OK"

@@ -32,6 +32,7 @@ import numpy as np
 from repro.graphs.serialize import graph_from_arrays, graph_to_arrays
 from repro.ir.serialize import LazyModule, module_to_dict
 from repro.pipeline.staged import PIPELINE_VERSION, CompilationResult
+from repro.transform import chain_id, parse_transform_chain
 
 PathLike = Union[str, Path]
 
@@ -53,8 +54,15 @@ class ArtifactKey:
 
     ``source_id`` identifies the source *content* — either a text hash
     (:func:`source_text_id`) or the corpus generator's ``gen:<seed>:...``
-    spec, whose determinism makes the text derivable.  ``version`` pins
-    the pipeline implementation; every field participates in the digest.
+    spec, whose determinism makes the text derivable.  ``transforms``
+    names the transform-chain variant that produced the artifact (the
+    canonical :func:`repro.transform.chain_id` string; ``""`` is the
+    clean compilation) — it is parsed and canonicalized on construction,
+    so an unknown transform name or malformed intensity raises
+    :class:`repro.transform.TransformError` here instead of silently
+    keying an orphan cache entry nobody can ever hit again.  ``version``
+    pins the pipeline implementation; every field participates in the
+    digest.
     """
 
     task: str
@@ -64,6 +72,14 @@ class ArtifactKey:
     compiler: str
     source_id: str
     version: str = PIPELINE_VERSION
+    transforms: str = ""
+
+    def __post_init__(self):  # noqa: D105
+        # Validate AND canonicalize: "deadcode" and "deadcode@1~0" are the
+        # same variant and must address the same entry.
+        object.__setattr__(
+            self, "transforms", chain_id(parse_transform_chain(self.transforms))
+        )
 
     @property
     def digest(self) -> str:
@@ -77,6 +93,7 @@ class ArtifactKey:
                 self.compiler,
                 self.source_id,
                 self.version,
+                self.transforms,
             ]
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()
@@ -130,6 +147,7 @@ class ArtifactStore:
             "compiler": result.compiler,
             "source_text": result.source_text,
             "stages_completed": list(result.stages_completed),
+            "transforms": list(result.transforms),
             # (name, source_language) pairs so lazy modules can exist
             # without parsing their payloads.
             "source_module_head": [
@@ -188,6 +206,7 @@ class ArtifactStore:
                     compiler=meta["compiler"],
                     source_text=meta["source_text"],
                     stages_completed=list(meta["stages_completed"]),
+                    transforms=list(meta.get("transforms", [])),
                     source_module=LazyModule(
                         src_head[0], src_head[1],
                         np.asarray(archive["source_module"]).tobytes(),

@@ -22,6 +22,10 @@ Commands
                (config, dataset) training run and loads it from a
                content-addressed model store instead of retraining;
                ``experiment list`` prints a store's entries.
+``robustness`` Retrieval robustness under binary transforms: sweep
+               transform chains × intensities against a clean candidate
+               index and print the robustness matrix.
+``transforms`` List the registered code transforms.
 ``tasks``      List the task templates the generator knows.
 
 Everything is deterministic given ``--seed``; commands print the exact
@@ -37,6 +41,70 @@ import time
 from typing import List, Optional
 
 import numpy as np
+
+
+def _intensity_arg(text: str) -> float:
+    """argparse type for one transform intensity: finite, in [0, 1].
+
+    Rejecting NaN / negative / out-of-range values at the CLI boundary —
+    ``float("nan")`` parses fine and would otherwise flow into every
+    site-count computation as a silent no-op.
+    """
+    from repro.transform import TransformError, validate_intensity
+
+    try:
+        return validate_intensity(text)
+    except TransformError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _intensity_list_arg(text: str) -> List[float]:
+    """argparse type for a comma list of intensities."""
+    values = [_intensity_arg(part) for part in text.split(",") if part.strip()]
+    if not values:
+        raise argparse.ArgumentTypeError("need at least one intensity")
+    return values
+
+
+def _chain_list_arg(text: str) -> List[str]:
+    """argparse type for a comma list of ``+``-stacked transform chains.
+
+    Each chain element is either a bare transform name (takes the sweep's
+    ``--intensities`` / ``--transform-seed``) or a full
+    ``name[@intensity][~seed]`` spec (pinned as written).  Validated
+    against the registry here, so a typo fails with the registered names
+    listed instead of surfacing mid-sweep.
+    """
+    from repro.transform import TransformError, parse_transform_chain
+
+    chains = [part.strip() for part in text.split(",") if part.strip()]
+    if not chains:
+        raise argparse.ArgumentTypeError("need at least one transform chain")
+    for chain in chains:
+        try:
+            parse_transform_chain(chain)
+        except TransformError as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+    return chains
+
+
+def _lang_list_arg(text: str) -> List[str]:
+    """argparse type for a comma list of supported languages.
+
+    A typo ('jav') or stray whitespace would otherwise survive to a raw
+    KeyError deep inside the corpus generator, mid-sweep.
+    """
+    from repro.pipeline import FRONTENDS
+
+    langs = [part.strip() for part in text.split(",") if part.strip()]
+    if not langs:
+        raise argparse.ArgumentTypeError("need at least one language")
+    for lang in langs:
+        if lang not in FRONTENDS:
+            raise argparse.ArgumentTypeError(
+                f"unknown language {lang!r}; supported: {sorted(FRONTENDS)}"
+            )
+    return langs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,6 +211,40 @@ def build_parser() -> argparse.ArgumentParser:
     xl = exsub.add_parser("list", help="show a model store's experiments")
     xl.add_argument("store", metavar="DIR", help="model store root")
 
+    rb = sub.add_parser(
+        "robustness", help="retrieval robustness under binary transforms"
+    )
+    rb.add_argument("checkpoint")
+    rb.add_argument("--transforms", type=_chain_list_arg,
+                    default=None, metavar="CHAINS",
+                    help="comma list of transform chains; '+' stacks, and "
+                         "an element written as name[@intensity][~seed] is "
+                         "pinned instead of swept (default: every "
+                         "registered transform plus deadcode+regrename)")
+    rb.add_argument("--intensities", type=_intensity_list_arg,
+                    default=None, metavar="LIST",
+                    help="comma list of intensities in [0, 1] "
+                         "(default: 0.5,1)")
+    rb.add_argument("--source-langs", type=_lang_list_arg, default=["java"],
+                    help="comma list, candidate side")
+    rb.add_argument("--query-lang", default="c", choices=("c", "cpp", "java"))
+    rb.add_argument("--num-tasks", type=int, default=8)
+    rb.add_argument("--variants", type=int, default=1)
+    rb.add_argument("--seed", type=int, default=0)
+    rb.add_argument("--transform-seed", type=int, default=0,
+                    help="seed for every transform spec in the sweep")
+    rb.add_argument("--opt-level", default="Oz",
+                    choices=("O0", "O1", "O2", "O3", "Oz"))
+    rb.add_argument("--store", default=None, metavar="DIR",
+                    help="artifact store root; transformed variants are "
+                         "cached under transform-qualified keys")
+    rb.add_argument("--index", default=None, metavar="DIR",
+                    help="sharded clean-index directory; reused (cached "
+                         "clean embeddings) when it already exists")
+    rb.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the robustness matrix as JSON")
+
+    sub.add_parser("transforms", help="list registered code transforms")
     sub.add_parser("tasks", help="list available task templates")
     return p
 
@@ -461,6 +563,70 @@ def cmd_experiment_list(args) -> int:
     return 0
 
 
+def cmd_robustness(args) -> int:
+    """Sweep transform chains against a clean index and print the matrix."""
+    import json
+
+    from repro.artifacts import ArtifactStore
+    from repro.config import DataConfig
+    from repro.core.trainer import MatchTrainer
+    from repro.eval.robustness import (
+        DEFAULT_CHAINS,
+        DEFAULT_INTENSITIES,
+        RobustnessHarness,
+    )
+
+    chains = list(args.transforms) if args.transforms else list(DEFAULT_CHAINS)
+    intensities = (
+        list(args.intensities) if args.intensities else list(DEFAULT_INTENSITIES)
+    )
+    trainer = MatchTrainer.load(args.checkpoint)
+    cfg = DataConfig(
+        num_tasks=args.num_tasks,
+        variants=args.variants,
+        seed=args.seed,
+        opt_level=args.opt_level,
+    )
+    harness = RobustnessHarness(
+        trainer,
+        cfg,
+        source_languages=args.source_langs,
+        query_language=args.query_lang,
+        store=ArtifactStore(args.store) if args.store else None,
+        index_root=args.index,
+        transform_seed=args.transform_seed,
+    )
+    print(
+        f"robustness: tasks={args.num_tasks} variants={args.variants} "
+        f"candidates={','.join(args.source_langs)} queries={args.query_lang} "
+        f"opt={args.opt_level} seed={args.seed} "
+        f"chains={','.join(chains)} "
+        f"intensities={','.join(f'{i:g}' for i in intensities)}"
+    )
+    t0 = time.time()
+    report = harness.evaluate(chains, intensities)
+    print(f"swept {len(report.cells)} cells in {time.time() - t0:.1f}s\n")
+    print(report.render())
+    if args.store:
+        s = harness.store.stats()
+        print(f"\nartifact store: {s['hits']} hits, {s['misses']} misses")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report.matrix(), fh, indent=2, sort_keys=True)
+        print(f"matrix -> {args.json}")
+    return 0
+
+
+def cmd_transforms(_args) -> int:
+    """List registered transforms (name, level, description)."""
+    from repro.transform import TRANSFORM_REGISTRY
+
+    for name in sorted(TRANSFORM_REGISTRY):
+        t = TRANSFORM_REGISTRY[name]
+        print(f"{name:<14} {t.level:<7} {t.description}")
+    return 0
+
+
 def cmd_tasks(_args) -> int:
     """List task templates."""
     from repro.lang.tasks import TASK_REGISTRY
@@ -479,6 +645,8 @@ _COMMANDS = {
     "corpus": cmd_corpus,
     "serve": cmd_serve,
     "experiment": cmd_experiment,
+    "robustness": cmd_robustness,
+    "transforms": cmd_transforms,
     "tasks": cmd_tasks,
 }
 

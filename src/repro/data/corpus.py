@@ -152,9 +152,22 @@ class CorpusBuilder:
         )
 
     def artifact_key(
-        self, task: str, variant: int, language: str, opt_level: str, compiler: str
+        self,
+        task: str,
+        variant: int,
+        language: str,
+        opt_level: str,
+        compiler: str,
+        transforms: str = "",
     ) -> ArtifactKey:
-        """The store key for one corpus sample."""
+        """The store key for one corpus sample.
+
+        ``transforms`` names the transform-chain variant (see
+        :mod:`repro.transform`); the default ``""`` keys the clean
+        compilation the builder itself performs.  The robustness harness
+        uses non-empty chains to persist transformed variants of the same
+        corpus coordinates alongside the clean entries.
+        """
         return ArtifactKey(
             task=task,
             variant=variant,
@@ -162,6 +175,7 @@ class CorpusBuilder:
             opt_level=opt_level,
             compiler=compiler,
             source_id=self._source_id(),
+            transforms=transforms,
         )
 
     def _items(self, languages: Sequence[str]) -> List[Tuple[str, int, str]]:

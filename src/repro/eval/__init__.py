@@ -1,4 +1,10 @@
-"""``repro.eval`` — metrics, threshold sweeps, experiment runners."""
+"""``repro.eval`` — metrics, threshold sweeps, experiment runners.
+
+The robustness harness lives in :mod:`repro.eval.robustness` and is
+imported directly (not re-exported here): it pulls in the pipeline,
+artifact-store, index and transform subsystems, which lightweight
+consumers of the metrics modules must not pay for.
+"""
 
 from repro.eval.metrics import ClassificationMetrics, classification_metrics, confusion
 from repro.eval.threshold import sweep_thresholds

@@ -10,10 +10,12 @@ from repro.pipeline.staged import (
     STAGE_LOWER,
     STAGE_OPTIMIZE,
     STAGE_PARSE,
+    STAGE_TRANSFORM,
     STAGES,
     CompilationPipeline,
     CompilationResult,
     StageFailure,
+    normalize_transforms,
 )
 
 __all__ = [
@@ -25,8 +27,10 @@ __all__ = [
     "STAGE_PARSE",
     "STAGE_LOWER",
     "STAGE_OPTIMIZE",
+    "STAGE_TRANSFORM",
     "STAGE_CODEGEN",
     "STAGE_DECOMPILE",
     "STAGE_GRAPH",
     "FRONTENDS",
+    "normalize_transforms",
 ]

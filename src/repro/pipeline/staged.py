@@ -5,7 +5,11 @@ user-facing :class:`~repro.core.pipeline.MatcherPipeline`, the CLI, the
 benchmark harness — used to hand-roll the same six steps.  This module is
 now the single owner of that chain, decomposed into named stages:
 
-    parse → lower → optimize → codegen → decompile → graph
+    parse → lower → optimize → [transform] → codegen → decompile → graph
+
+(``transform`` — the seedable augmentation stage from
+:mod:`repro.transform` — only runs when a transform chain is configured;
+clean compilations are byte-identical to the pre-transform pipeline.)
 
 Each stage is individually timed (per-compile in
 :attr:`CompilationResult.stage_seconds`, cumulatively in the pipeline's
@@ -23,7 +27,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.binary.codegen import compile_module
 from repro.binary.decompiler import decompile_bytes
@@ -34,15 +38,18 @@ from repro.ir.passes import optimize
 from repro.lang.minic import parse_minic
 from repro.lang.minicpp import parse_minicpp
 from repro.lang.minijava import parse_minijava
+from repro.transform import TransformSpec, chain_id, parse_transform_chain, split_by_level
 from repro.utils.timing import Timer
 
 #: Bump when any stage's observable output changes; part of every artifact
 #: key, so stale cache entries from an older pipeline never hit.
-PIPELINE_VERSION = "staged-1"
+#: staged-2: the optional ``transform`` stage and transform-qualified keys.
+PIPELINE_VERSION = "staged-2"
 
 STAGE_PARSE = "parse"
 STAGE_LOWER = "lower"
 STAGE_OPTIMIZE = "optimize"
+STAGE_TRANSFORM = "transform"
 STAGE_CODEGEN = "codegen"
 STAGE_DECOMPILE = "decompile"
 STAGE_GRAPH = "graph"
@@ -54,6 +61,23 @@ STAGES = (
     STAGE_DECOMPILE,
     STAGE_GRAPH,
 )
+
+#: Accepted spellings for a transform chain: a spec string
+#: (``"deadcode@0.5~3+regrename"``), an iterable of specs, or None/"" for
+#: the clean chain.
+TransformChain = Union[str, Sequence[TransformSpec], None]
+
+
+def normalize_transforms(transforms: TransformChain) -> Tuple[TransformSpec, ...]:
+    """Coerce any accepted chain spelling to a validated spec tuple."""
+    if transforms is None:
+        return ()
+    if isinstance(transforms, str):
+        return parse_transform_chain(transforms)
+    return tuple(
+        s if isinstance(s, TransformSpec) else TransformSpec.parse(str(s))
+        for s in transforms
+    )
 
 FRONTENDS = {"c": parse_minic, "cpp": parse_minicpp, "java": parse_minijava}
 
@@ -76,6 +100,8 @@ class CompilationResult:
     stages_completed: List[str] = field(default_factory=list)
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     from_cache: bool = False
+    #: Canonical spec strings of the transforms applied (empty = clean).
+    transforms: List[str] = field(default_factory=list)
     program: Optional[object] = None  # lang.ast.Program; not persisted
     source_module: Optional[Module] = None
     source_graph: Optional[ProgramGraph] = None
@@ -86,8 +112,12 @@ class CompilationResult:
 
     @property
     def complete(self) -> bool:
-        """True when every stage ran."""
-        return list(self.stages_completed) == list(STAGES)
+        """True when every canonical stage ran.
+
+        Membership, not list equality: transformed compilations record the
+        optional ``transform`` stage between ``optimize`` and ``codegen``.
+        """
+        return set(STAGES) <= set(self.stages_completed)
 
 
 class StageFailure(RuntimeError):
@@ -122,14 +152,29 @@ class CompilationPipeline:
         :class:`StageFailure` when it reaches this stage.  Models the
         paper's non-compilable submissions and backs the stage-accounting
         tests; leave ``None`` in normal use.
+    transforms:
+        Default transform chain (spec string or :class:`TransformSpec`
+        sequence) applied by every :meth:`compile`; individual calls
+        override it.  IR-level transforms run in the ``transform`` stage
+        between ``optimize`` and ``codegen``; binary-level transforms
+        rewrite the linked program inside ``codegen`` before encoding.
+        The source-side view is never transformed — the robustness
+        question is how *binaries* drift from clean sources.
     """
 
     version = PIPELINE_VERSION
 
-    def __init__(self, store=None, timer: Optional[Timer] = None, fail_stage: Optional[str] = None):  # noqa: D107
+    def __init__(
+        self,
+        store=None,
+        timer: Optional[Timer] = None,
+        fail_stage: Optional[str] = None,
+        transforms: TransformChain = None,
+    ):  # noqa: D107
         self.store = store
         self.timer = timer or Timer()
         self.fail_stage = fail_stage
+        self.transforms = normalize_transforms(transforms)
 
     @staticmethod
     def _check_language(language: str, program) -> None:
@@ -171,10 +216,22 @@ class CompilationPipeline:
     def _optimize(self, result: CompilationResult) -> None:
         optimize(result.binary_module, result.opt_level)
 
-    def _codegen(self, result: CompilationResult) -> None:
-        result.binary_bytes = compile_module(
-            result.binary_module, style=result.compiler
-        ).encode()
+    def _transform(self, result: CompilationResult, specs: Sequence[TransformSpec]) -> None:
+        # IR-level transforms only touch the *binary-side* module: the
+        # source view stays clean, so robustness sweeps measure how far a
+        # perturbed binary drifts from the unperturbed source corpus.
+        for spec in specs:
+            spec.transform.apply_ir(
+                result.binary_module, spec.rng(result.name), spec.intensity
+            )
+
+    def _codegen(self, result: CompilationResult, specs: Sequence[TransformSpec] = ()) -> None:
+        program = compile_module(result.binary_module, style=result.compiler)
+        # Binary-level transforms rewrite the linked program before it is
+        # encoded — post-link, exactly where an obfuscator would sit.
+        for spec in specs:
+            spec.transform.apply_binary(program, spec.rng(result.name), spec.intensity)
+        result.binary_bytes = program.encode()
 
     def _decompile(self, result: CompilationResult) -> None:
         result.decompiled_module = decompile_bytes(
@@ -199,6 +256,7 @@ class CompilationPipeline:
         program=None,
         cache_key=None,
         cache_lookup: bool = True,
+        transforms: TransformChain = None,
     ) -> CompilationResult:
         """Run every stage (or load the stored result) for one source file.
 
@@ -209,9 +267,25 @@ class CompilationPipeline:
         a hit skips every stage and a completed miss is persisted.
         ``cache_lookup=False`` skips the read (callers that already probed
         the store pass this so misses are not double-counted) while still
-        persisting the result.
+        persisting the result.  ``transforms`` overrides the pipeline's
+        default chain for this compile (pass ``()`` or ``""`` to force a
+        clean compile on a transform-configured pipeline); a ``cache_key``
+        must be qualified with the same chain (``ArtifactKey.transforms``)
+        — a mismatch raises here, because serving a clean cached artifact
+        as a transformed result (or persisting a transformed result under
+        the clean key) would silently corrupt the store.
         """
         self._check_language(language, program)
+        chain = self.transforms if transforms is None else normalize_transforms(transforms)
+        ir_specs, binary_specs = split_by_level(chain)
+        if cache_key is not None:
+            key_chain = getattr(cache_key, "transforms", None)
+            if key_chain is not None and key_chain != chain_id(chain):
+                raise ValueError(
+                    f"cache_key names transform chain {key_chain!r} but this "
+                    f"compile applies {chain_id(chain)!r}; qualify the key "
+                    "with the same chain"
+                )
         if cache_lookup and cache_key is not None and self.store is not None:
             start = time.perf_counter()
             with self.timer.span("store.load"):
@@ -227,11 +301,18 @@ class CompilationPipeline:
             compiler=compiler,
             source_text=source_text,
             program=program,
+            # Application order (IR-level first), matching chain_id's
+            # canonical form — not necessarily the caller's spelling.
+            transforms=[s.spec for s in ir_specs + binary_specs],
         )
         self._run_stage(STAGE_PARSE, result, lambda: self._parse(result))
         self._run_stage(STAGE_LOWER, result, lambda: self._lower(result))
         self._run_stage(STAGE_OPTIMIZE, result, lambda: self._optimize(result))
-        self._run_stage(STAGE_CODEGEN, result, lambda: self._codegen(result))
+        if chain:
+            self._run_stage(
+                STAGE_TRANSFORM, result, lambda: self._transform(result, ir_specs)
+            )
+        self._run_stage(STAGE_CODEGEN, result, lambda: self._codegen(result, binary_specs))
         self._run_stage(STAGE_DECOMPILE, result, lambda: self._decompile(result))
         self._run_stage(STAGE_GRAPH, result, lambda: self._graph(result))
         if cache_key is not None and self.store is not None and result.complete:

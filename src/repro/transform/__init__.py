@@ -1,0 +1,37 @@
+"""``repro.transform`` — deterministic, seedable code-transformation registry.
+
+The augmentation subsystem behind the robustness workload: IR- and
+binary-level rewrites (inlining, dead-code injection, instruction
+substitution, block reordering, register renaming, padding) that compose
+with the staged :class:`~repro.pipeline.CompilationPipeline` and persist
+through the artifact store under transform-qualified keys.
+"""
+
+from repro.transform.base import (
+    TRANSFORM_REGISTRY,
+    Transform,
+    TransformError,
+    TransformSpec,
+    chain_id,
+    get_transform,
+    parse_transform_chain,
+    register_transform,
+    split_by_level,
+    validate_intensity,
+)
+
+# Importing the implementation modules populates the registry.
+from repro.transform import binary_transforms, ir_transforms  # noqa: F401  isort: skip
+
+__all__ = [
+    "TRANSFORM_REGISTRY",
+    "Transform",
+    "TransformError",
+    "TransformSpec",
+    "chain_id",
+    "get_transform",
+    "parse_transform_chain",
+    "register_transform",
+    "split_by_level",
+    "validate_intensity",
+]

@@ -1,0 +1,211 @@
+"""Transform registry and spec grammar for the augmentation subsystem.
+
+The robustness workload (see :mod:`repro.eval.robustness`) needs to ask
+one question many times: *how does matching degrade when the binary is
+produced by a transformed compilation?*  Every transform here is
+
+* **deterministic** — a :class:`TransformSpec` fixes (name, intensity,
+  seed) and two applications of the same spec to the same input produce
+  byte-identical output, in any process (the artifact store depends on
+  this: transformed variants are content-addressed by their spec);
+* **seedable** — all randomness flows through one
+  :func:`repro.utils.rng.derive_rng` stream derived from the spec seed,
+  the transform name and the unit name;
+* **intensity-scaled** — ``intensity`` ∈ [0, 1] picks how much of the
+  eligible surface is rewritten (0 = no-op, 1 = every eligible site).
+
+Transforms come in two levels.  ``"ir"`` transforms rewrite the optimized
+binary-side :class:`~repro.ir.module.Module` before codegen (the
+``transform`` pipeline stage); ``"binary"`` transforms rewrite the linked
+:class:`~repro.binary.isa.BinaryProgram` after codegen, before encoding.
+Both change the bytes the decompiler sees, and therefore the decompiled
+graph the matcher scores — while the VM-observable behaviour of the
+binary is preserved (``tests/test_transforms.py`` executes clean and
+transformed binaries and asserts identical output).
+
+Spec grammar (used by the CLI, the artifact key and the robustness CLI):
+
+    name[@intensity][~seed]          one transform
+    spec+spec+...                    a stacked chain
+
+Chains apply left to right *within a level*, but IR-level transforms
+always run before binary-level ones — they precede codegen by
+construction — so ``pad+deadcode`` and ``deadcode+pad`` are the same
+compilation.  :func:`chain_id` renders the canonical form (IR specs
+first, written order preserved within each level), which is why the two
+spellings share one artifact key.  :func:`parse_transform_chain` parses
+and validates; e.g. ``deadcode@0.5~3+regrename@1~3``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.utils.rng import derive_rng
+
+
+class TransformError(ValueError):
+    """Raised on unknown transform names or malformed specs."""
+
+
+def validate_intensity(value) -> float:
+    """Validate an intensity knob: a finite float in [0, 1].
+
+    NaN would silently disable every ``rng.choice`` size computation and
+    negative values would flip ``ceil`` counts — both produce a "transform"
+    that quietly does nothing while the artifact key claims otherwise, so
+    the boundary rejects them loudly.
+    """
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        raise TransformError(f"intensity must be a number, got {value!r}") from None
+    if math.isnan(out) or math.isinf(out):
+        raise TransformError(f"intensity must be finite, got {value!r}")
+    if out < 0.0 or out > 1.0:
+        raise TransformError(f"intensity must be in [0, 1], got {out!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class TransformSpec:
+    """One fully-determined transform application: (name, intensity, seed)."""
+
+    name: str
+    intensity: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):  # noqa: D105
+        get_transform(self.name)  # unknown names fail here, not at apply time
+        validated = validate_intensity(self.intensity)
+        # Round-trip through the %g rendering :attr:`spec` uses, so the
+        # canonical string and the behaviour always agree — without this,
+        # two intensities differing below 6 significant digits would share
+        # one artifact key while producing different artifacts.
+        object.__setattr__(self, "intensity", float(f"{validated:g}"))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @property
+    def spec(self) -> str:
+        """Canonical string form (``name@intensity~seed``)."""
+        return f"{self.name}@{self.intensity:g}~{self.seed}"
+
+    @property
+    def transform(self) -> "Transform":
+        """The registered :class:`Transform` this spec names."""
+        return get_transform(self.name)
+
+    def rng(self, *names: object):
+        """The spec's deterministic RNG stream, salted by ``names``.
+
+        Callers pass the unit name (e.g. the module name), so the same
+        spec perturbs different programs differently while staying
+        reproducible across processes.
+        """
+        return derive_rng(self.seed, "transform", self.name, *names)
+
+    @classmethod
+    def parse(cls, text: str) -> "TransformSpec":
+        """Parse one ``name[@intensity][~seed]`` spec string."""
+        body = text.strip()
+        if not body:
+            raise TransformError("empty transform spec")
+        seed = 0
+        if "~" in body:
+            body, seed_s = body.rsplit("~", 1)
+            try:
+                seed = int(seed_s)
+            except ValueError:
+                raise TransformError(
+                    f"bad transform seed {seed_s!r} in {text!r}"
+                ) from None
+        intensity: object = 1.0
+        if "@" in body:
+            body, intensity = body.split("@", 1)
+        return cls(name=body.strip(), intensity=validate_intensity(intensity), seed=seed)
+
+
+def parse_transform_chain(text: str) -> Tuple[TransformSpec, ...]:
+    """Parse a ``+``-stacked chain of specs; ``""`` means the clean chain."""
+    if not text or not text.strip():
+        return ()
+    return tuple(TransformSpec.parse(part) for part in text.split("+"))
+
+
+def chain_id(specs: Sequence[TransformSpec]) -> str:
+    """Canonical string for a chain (the artifact-key spelling).
+
+    Specs are stable-partitioned IR-level first — the order the pipeline
+    actually applies them — so two spellings of the same compilation
+    (``pad+deadcode`` vs ``deadcode+pad``) address one store entry
+    instead of keying byte-identical duplicates.
+    """
+    ir, binary = split_by_level(specs)
+    return "+".join(s.spec for s in ir + binary)
+
+
+def site_count(eligible: int, intensity: float) -> int:
+    """How many of ``eligible`` sites an intensity rewrites (ceil scaling).
+
+    The one intensity→count rule every transform shares: 0 rewrites
+    nothing, 1 rewrites every eligible site, fractions round up so any
+    non-zero intensity touches at least one site when any is eligible.
+    """
+    if eligible <= 0 or intensity <= 0.0:
+        return 0
+    return min(eligible, int(math.ceil(intensity * eligible)))
+
+
+class Transform:
+    """One registered transformation.
+
+    Subclasses set ``name``/``level``/``description`` and override the
+    ``apply_*`` hook matching their level.  Both hooks mutate in place;
+    they must be deterministic functions of (input, rng, intensity).
+    """
+
+    name: str = ""
+    level: str = "ir"  # "ir" (pre-codegen Module) or "binary" (BinaryProgram)
+    description: str = ""
+
+    def apply_ir(self, module, rng, intensity: float) -> int:
+        """Rewrite an IR module; returns the number of sites changed."""
+        raise NotImplementedError(f"{self.name} is not an IR-level transform")
+
+    def apply_binary(self, program, rng, intensity: float) -> int:
+        """Rewrite a linked binary program; returns sites changed."""
+        raise NotImplementedError(f"{self.name} is not a binary-level transform")
+
+
+TRANSFORM_REGISTRY: Dict[str, Transform] = {}
+
+
+def register_transform(transform: Transform) -> Transform:
+    """Add a transform to the registry (duplicate names are a bug)."""
+    if not transform.name:
+        raise TransformError("transform has no name")
+    if transform.name in TRANSFORM_REGISTRY:
+        raise TransformError(f"duplicate transform {transform.name!r}")
+    TRANSFORM_REGISTRY[transform.name] = transform
+    return transform
+
+
+def get_transform(name: str) -> Transform:
+    """Look up a registered transform; unknown names raise loudly."""
+    try:
+        return TRANSFORM_REGISTRY[name]
+    except KeyError:
+        raise TransformError(
+            f"unknown transform {name!r}; registered: {sorted(TRANSFORM_REGISTRY)}"
+        ) from None
+
+
+def split_by_level(
+    specs: Sequence[TransformSpec],
+) -> Tuple[List[TransformSpec], List[TransformSpec]]:
+    """Partition a chain into (IR-level, binary-level) sublists, in order."""
+    ir = [s for s in specs if s.transform.level == "ir"]
+    binary = [s for s in specs if s.transform.level == "binary"]
+    return ir, binary

@@ -1,0 +1,134 @@
+"""Binary-level transforms: rewrite the linked program after codegen.
+
+These run at the end of the pipeline's ``codegen`` stage, between
+:func:`repro.binary.codegen.compile_module` and object encoding.  They
+operate on the decoded :class:`~repro.binary.isa.BinaryProgram`, the same
+representation the decompiler consumes — so the perturbation hits exactly
+what a real post-link obfuscator would: register allocation and code
+layout, not the compiler's IR.
+
+Safety relies on two ISA facts (see :mod:`repro.binary.vm`):
+
+* branch targets are *function-local* instruction offsets, so appending
+  pad code at the end of a function moves no target;
+* the VM's calling convention pins argument registers (``r0..r(n-1)``
+  for both internal ``CALL`` and external ``CALLX``) and the return
+  register ``r0`` — every other register is private to straight-line
+  spill code and may be renamed globally.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Set
+
+from repro.binary.isa import BinaryProgram, MachineInstr
+from repro.transform.base import Transform, register_transform, site_count
+
+#: Opcodes whose ``rd`` / ``rs`` field names a register (13 = frame alias,
+#: which renaming must never touch; ``CALLX.rs`` is an arity, not a
+#: register, and branch/call ``imm`` fields are offsets/indices).
+_ALU = ("ADD", "SUB", "MUL", "DIV", "REM", "AND", "OR", "XOR", "SHL", "SAR")
+_RD_IS_REG = {"MOVI", "MOV", "CMP", "LD", "ST", "LEA", "SALLOC", *_ALU}
+_RS_IS_REG = {"MOV", "CMP", "LD", "ST", "SALLOC", *_ALU}
+
+
+def _pinned_registers(program: BinaryProgram) -> Set[int]:
+    """Registers the calling convention fixes: arg regs and the return reg.
+
+    The VM passes internal-call arguments in ``r0..r(num_args-1)`` and
+    external-call arguments in ``r0..r(arity-1)``; ``r0`` also carries
+    return values.  Renaming any of those breaks execution, so they are
+    pinned program-wide.
+    """
+    pinned = {0}
+    for fn in program.functions:
+        pinned.update(range(fn.num_args))
+    for ins in program.instructions:
+        if ins.op == "CALLX":
+            pinned.update(range(ins.rs))
+    return pinned
+
+
+class RegRenameTransform(Transform):
+    """Globally permute the non-pinned general registers.
+
+    ``intensity`` scales how many of the renameable registers join the
+    permutation (a single cycle over the chosen subset, so every chosen
+    register really moves).  The decompiler recovers one variable per
+    register, so renaming redirects its load/store traffic through
+    different recovered variables — same semantics, different graph.
+    """
+
+    name = "regrename"
+    level = "binary"
+    description = "permute non-ABI registers program-wide"
+
+    def apply_binary(self, program: BinaryProgram, rng, intensity: float) -> int:
+        domain = sorted(set(range(12)) - _pinned_registers(program))
+        take = site_count(len(domain), intensity)
+        if take < 2:  # a 1-cycle is the identity — nothing would move
+            return 0
+        chosen = [int(r) for r in rng.choice(domain, size=take, replace=False)]
+        mapping: Dict[int, int] = {
+            r: chosen[(i + 1) % len(chosen)] for i, r in enumerate(chosen)
+        }
+        touched = 0
+        for ins in program.instructions:
+            renamed = False
+            if ins.op in _RD_IS_REG and ins.rd in mapping:
+                ins.rd = mapping[ins.rd]
+                renamed = True
+            if ins.op in _RS_IS_REG and ins.rs in mapping:
+                ins.rs = mapping[ins.rs]
+                renamed = True
+            touched += int(renamed)
+        return touched
+
+
+class PadTransform(Transform):
+    """Append never-executed junk instructions to each function.
+
+    The pad sits after the function's final ``RET``/``JMP``, so control
+    flow cannot reach it — but the decompiler's leader analysis dutifully
+    lifts it as extra unreachable blocks, inflating the decompiled graph
+    exactly like section padding confuses real lifters.  Function start
+    offsets (and nothing else) are rewritten to account for the shifts;
+    branch targets are function-local and need no fixup.
+    """
+
+    name = "pad"
+    level = "binary"
+    description = "append dead instruction padding to every function"
+
+    _OPS = ("MOVI", "MOV", "ADD", "XOR", "CMP")
+
+    def apply_binary(self, program: BinaryProgram, rng, intensity: float) -> int:
+        if intensity <= 0.0 or not program.functions:
+            return 0
+        new_code: List[MachineInstr] = []
+        padded = 0
+        # Functions are laid out contiguously in start order; rebuild the
+        # flat instruction list with each function's pad appended in place.
+        for fn in sorted(program.functions, key=lambda f: f.start):
+            body = program.instructions[fn.start : fn.start + fn.length]
+            fn.start = len(new_code)
+            n_pad = int(math.ceil(intensity * max(2, fn.length // 4)))
+            pad = [self._junk(rng) for _ in range(n_pad)]
+            fn.length += n_pad
+            new_code.extend(body)
+            new_code.extend(pad)
+            padded += n_pad
+        program.instructions = new_code
+        return padded
+
+    def _junk(self, rng) -> MachineInstr:
+        op = self._OPS[int(rng.integers(0, len(self._OPS)))]
+        rd = int(rng.integers(0, 12))
+        rs = int(rng.integers(0, 12))
+        imm = int(rng.integers(-(1 << 16), 1 << 16)) if op == "MOVI" else 0
+        return MachineInstr(op, rd=rd, rs=rs, imm=imm)
+
+
+register_transform(RegRenameTransform())
+register_transform(PadTransform())

@@ -1,0 +1,162 @@
+"""Tests for the robustness evaluation harness (repro.eval.robustness)."""
+
+import pytest
+
+from repro.artifacts import ArtifactStore
+from repro.config import DataConfig, cpu_config, scaled, tiny_data_config
+from repro.core.trainer import MatchTrainer
+from repro.data.corpus import CorpusBuilder
+from repro.data.pairs import build_pairs
+from repro.eval.retrieval import evaluate_retrieval
+from repro.eval.robustness import (
+    CLEAN,
+    RobustnessHarness,
+    RobustnessReport,
+    chain_specs,
+)
+from repro.index import ShardedEmbeddingIndex
+from repro.transform import TransformError
+
+CORPUS_CFG = DataConfig(num_tasks=5, variants=1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    samples = CorpusBuilder(tiny_data_config()).build(["c", "java"])
+    c = [s for s in samples if s.language == "c"]
+    j = [s for s in samples if s.language == "java"]
+    ds = build_pairs(c, j, "binary", "source", seed=0, max_pairs_per_task=3)
+    trainer = MatchTrainer(
+        scaled(cpu_config(), epochs=2, hidden_dim=16, embed_dim=16, num_layers=1)
+    )
+    trainer.train(ds)
+    return trainer
+
+
+def _harness(trained, tmp_path=None, **kw):
+    if tmp_path is not None:
+        kw.setdefault("store", ArtifactStore(tmp_path / "artifacts"))
+        kw.setdefault("index_root", tmp_path / "index")
+    return RobustnessHarness(trained, CORPUS_CFG, **kw)
+
+
+class TestChainSpecs:
+    def test_builds_specs(self):
+        specs = chain_specs("deadcode+pad", 0.5, 7)
+        assert [(s.name, s.intensity, s.seed) for s in specs] == [
+            ("deadcode", 0.5, 7), ("pad", 0.5, 7),
+        ]
+
+    def test_explicit_spec_elements_are_pinned(self):
+        specs = chain_specs("deadcode@0.25~9+pad", 0.5, 7)
+        assert [(s.name, s.intensity, s.seed) for s in specs] == [
+            ("deadcode", 0.25, 9), ("pad", 0.5, 7),
+        ]
+
+    def test_decorations_pin_independently(self):
+        # "~" pins only the seed (intensity still sweeps); "@" pins only
+        # the intensity (seed still comes from the sweep).
+        specs = chain_specs("deadcode~9+pad@0.25", 0.5, 7)
+        assert [(s.name, s.intensity, s.seed) for s in specs] == [
+            ("deadcode", 0.5, 9), ("pad", 0.25, 7),
+        ]
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(TransformError):
+            chain_specs("deadcode+nosuch", 1.0, 0)
+
+
+class TestHarness:
+    def test_clean_row_matches_direct_retrieval(self, trained):
+        harness = _harness(trained)
+        report = harness.evaluate(chains=("pad",), intensities=(1.0,))
+        direct = evaluate_retrieval(
+            trained, harness.clean_queries(), harness.candidates
+        )
+        clean = report.clean
+        assert clean.chain == CLEAN
+        assert clean.result.num_queries == direct.num_queries
+        assert clean.result.mrr == pytest.approx(direct.mrr)
+        assert clean.result.hit_at[1] == pytest.approx(direct.hit_at[1])
+        assert clean.result.mean_average_precision == pytest.approx(
+            direct.mean_average_precision
+        )
+
+    def test_matrix_shape_and_render(self, trained):
+        harness = _harness(trained)
+        report = harness.evaluate(
+            chains=("pad", "deadcode+regrename"), intensities=(0.5, 1.0)
+        )
+        matrix = report.matrix()
+        assert set(matrix) == {CLEAN, "pad", "deadcode+regrename"}
+        assert set(matrix["pad"]) == {"0.5", "1"}
+        assert {"mrr", "hit1", "hit3", "hit5", "hit10", "map", "num_queries",
+                "spec"} == set(matrix["pad"]["1"])
+        assert matrix["pad"]["1"]["spec"] == "pad@1~0"
+
+        rendered = report.render()
+        assert "pad" in rendered and "clean" in rendered
+
+    def test_to_dict_reports_only_computed_ranks(self, trained):
+        harness = _harness(trained)
+        report = harness.evaluate(chains=(), intensities=(), ks=(1, 10))
+        d = report.clean.to_dict()
+        assert "hit5" not in d and {"hit1", "hit10"} <= set(d)
+        assert "-" in report.render()  # Hit@5 column shows 'not computed'
+
+    def test_pinned_chains_not_duplicated_across_intensities(self, trained):
+        harness = _harness(trained)
+        report = harness.evaluate(chains=("pad@0.25",), intensities=(0.5, 1.0))
+        cells = [c for c in report.cells if c.chain != CLEAN]
+        assert len(cells) == 1
+        assert cells[0].spec == "pad@0.25~0"
+
+    def test_transformed_queries_are_cached_in_store(self, trained, tmp_path):
+        harness = _harness(trained, tmp_path)
+        harness.evaluate(chains=("pad",), intensities=(1.0,))
+        store = ArtifactStore(tmp_path / "artifacts")
+        # clean corpus (both languages) + one transformed variant per query
+        assert len(store) > len(harness.query_samples)
+
+    def test_warm_rerun_reuses_index_and_store(self, trained, tmp_path):
+        cold = _harness(trained, tmp_path)
+        cold_report = cold.evaluate(chains=("pad",), intensities=(1.0,))
+
+        warm = _harness(trained, tmp_path)
+        warm_report = warm.evaluate(chains=("pad",), intensities=(1.0,))
+        # The warm harness opened the persisted sharded index instead of
+        # re-encoding candidates, and every compilation hit the store.
+        assert isinstance(warm.clean_index(), ShardedEmbeddingIndex)
+        assert warm.store.hits > 0
+        assert warm.store.misses == 0
+        assert warm_report.matrix() == cold_report.matrix()
+
+    def test_index_rejects_other_checkpoint(self, trained, tmp_path):
+        cold = _harness(trained, tmp_path)
+        cold.evaluate(chains=(), intensities=())
+        other = MatchTrainer(
+            scaled(cpu_config(seed=9), epochs=1, hidden_dim=16, embed_dim=16,
+                   num_layers=1)
+        )
+        samples = CorpusBuilder(tiny_data_config()).build(["c", "java"])
+        ds = build_pairs(
+            [s for s in samples if s.language == "c"],
+            [s for s in samples if s.language == "java"],
+            "binary", "source", seed=1, max_pairs_per_task=2,
+        )
+        other.train(ds)
+        stale = _harness(other, tmp_path)
+        with pytest.raises(ValueError):
+            stale.evaluate(chains=(), intensities=())
+
+    def test_max_queries_caps(self, trained):
+        harness = _harness(trained, max_queries=2)
+        assert len(harness.query_samples) == 2
+
+    def test_untrained_trainer_rejected(self):
+        with pytest.raises(ValueError, match="no trained model"):
+            RobustnessHarness(MatchTrainer(cpu_config()), CORPUS_CFG)
+
+    def test_empty_report_has_no_clean(self):
+        with pytest.raises(ValueError, match="clean baseline"):
+            RobustnessReport().clean
