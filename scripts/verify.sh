@@ -4,14 +4,19 @@
 # The smoke exercises the full user path the README quickstart promises:
 # train a tiny model, build an embedding index over a source corpus, and
 # query it with a compiled binary — through the CLI, not test harnesses.
-# It then runs the workload gates (training throughput, robustness) at
-# smoke scale, every example under REPRO_SMOKE=1, and the docs link check.
+# It then runs the workload gates (training throughput, robustness,
+# concurrent serving) at smoke scale, every example under REPRO_SMOKE=1,
+# and the docs link check.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: pytest =="
-python -m pytest -x -q
+# The suite now starts real socket servers and worker processes; a
+# deadlocked server must fail loudly, not hang CI until the job times out.
+TIER1_TIMEOUT="${REPRO_VERIFY_TIMEOUT:-1800}"
+
+echo "== tier-1: pytest (timeout ${TIER1_TIMEOUT}s) =="
+timeout --signal=INT "$TIER1_TIMEOUT" python -m pytest -x -q
 
 echo "== smoke: train -> index build -> index query =="
 tmp="$(mktemp -d)"
@@ -49,6 +54,50 @@ assert [l.get("id") for l in lines] == ["bin", "src"], lines
 assert all(len(l["hits"]) == 3 for l in lines), lines
 print("serve smoke: OK")
 EOF
+
+echo "== smoke: repro serve --socket (concurrent unix-socket service) =="
+python -m repro serve "$tmp/model.npz" "$tmp/sharded" \
+  --socket "unix:$tmp/serve.sock" --workers 1 --max-batch 4 --max-delay-ms 5 \
+  2> "$tmp/serve-socket.log" &
+serve_pid=$!
+python - "$tmp" <<'EOF'
+import json, socket, sys, time
+tmp = sys.argv[1]
+deadline = time.time() + 120
+while True:  # wait for the server to bind
+    try:
+        s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        s.connect(f"{tmp}/serve.sock")
+        break
+    except OSError:
+        if time.time() > deadline:
+            raise SystemExit("socket serve smoke: server never bound")
+        time.sleep(0.2)
+s.settimeout(120)
+with open(f"{tmp}/requests.jsonl", "rb") as fh:
+    s.sendall(fh.read())  # both pipelined requests at once
+s.sendall(b'{"control": "stats", "id": "st"}\n')
+buf = b""
+while buf.count(b"\n") < 3:
+    chunk = s.recv(65536)
+    assert chunk, "server hung up early"
+    buf += chunk
+lines = [json.loads(l) for l in buf.splitlines()]
+assert [l.get("id") for l in lines] == ["bin", "src", "st"], lines
+assert all(len(l["hits"]) == 3 for l in lines[:2]), lines
+# The snapshot is taken when the control arrives; the reader thread has
+# ingested all three lines by then, but query responses may be in flight.
+assert lines[2]["stats"]["requests"] == 3, lines
+assert lines[2]["stats"]["workers"] == 1, lines
+s.close()
+print("socket serve smoke: OK")
+EOF
+kill -INT "$serve_pid"
+if ! wait "$serve_pid"; then
+  echo "verify: FAIL — socket server did not exit cleanly" >&2
+  cat "$tmp/serve-socket.log" >&2
+  exit 1
+fi
 
 echo "== smoke: corpus build cold -> warm artifact cache =="
 python -m repro corpus build --num-tasks 4 --variants 1 --languages c,java --store "$tmp/artifacts"
@@ -105,6 +154,17 @@ echo "== bench: robustness gates (smoke scale) =="
 REPRO_BENCH_SMOKE=1 python -m pytest benchmarks/bench_robustness.py -x -q
 if [ ! -f benchmarks/perf/BENCH_robustness.json ]; then
   echo "verify: FAIL — bench_robustness did not write benchmarks/perf/BENCH_robustness.json" >&2
+  exit 1
+fi
+
+echo "== bench: concurrent serving gates (smoke scale) =="
+# Gates: 8 pipelined socket clients ≥3x one closed-loop client, hit lists
+# bit-identical to the sequential stdin path, p50/p99 recorded.  Timeout
+# so a wedged server/worker fails the gate rather than hanging it.
+REPRO_BENCH_SMOKE=1 timeout --signal=INT 900 \
+  python -m pytest benchmarks/bench_concurrent_serve.py -x -q
+if [ ! -f benchmarks/perf/BENCH_concurrent_serve.json ]; then
+  echo "verify: FAIL — bench_concurrent_serve did not write benchmarks/perf/BENCH_concurrent_serve.json" >&2
   exit 1
 fi
 

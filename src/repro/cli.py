@@ -184,15 +184,30 @@ def build_parser() -> argparse.ArgumentParser:
     cs = csub.add_parser("stats", help="show an artifact store's contents")
     cs.add_argument("store", metavar="DIR", help="artifact store root")
 
-    sv = sub.add_parser("serve", help="serve JSON-lines retrieval requests on stdin")
+    sv = sub.add_parser(
+        "serve", help="serve JSON-lines retrieval requests (stdin or socket)"
+    )
     sv.add_argument("checkpoint")
     sv.add_argument("index", help=".npz index file or sharded index directory")
-    sv.add_argument("--batch", type=int, default=8, metavar="N",
+    sv.add_argument("--batch", "--max-batch", dest="batch", type=int, default=8,
+                    metavar="N",
                     help="score up to N pipelined requests per batched pass")
     sv.add_argument("--top-k", type=int, default=5,
                     help="default hit-list size (requests override with 'k')")
     sv.add_argument("--store", default=None, metavar="DIR",
                     help="artifact store root shared across requests")
+    sv.add_argument("--socket", default=None, metavar="ADDR",
+                    help="serve concurrent clients on a socket instead of "
+                         "stdin: HOST:PORT (port 0 picks a free one) or "
+                         "unix:PATH")
+    sv.add_argument("--workers", type=int, default=2, metavar="N",
+                    help="worker processes sharing the index (socket mode)")
+    sv.add_argument("--max-delay-ms", type=float, default=10.0, metavar="MS",
+                    help="micro-batch deadline: a buffered request waits at "
+                         "most this long before its batch flushes")
+    sv.add_argument("--queue-depth", type=int, default=64, metavar="N",
+                    help="admitted-but-unanswered request bound; excess "
+                         "load is shed with an 'overloaded' response")
 
     ex = sub.add_parser("experiment", help="fingerprinted, cached training runs")
     exsub = ex.add_subparsers(dest="experiment_command", required=True)
@@ -482,12 +497,14 @@ def cmd_corpus_stats(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    """Serve JSON-lines retrieval requests from stdin until EOF."""
+    """Serve JSON-lines retrieval requests: stdin until EOF, or a socket."""
     from repro.artifacts import ArtifactStore
     from repro.core.trainer import MatchTrainer
     from repro.index import open_index
     from repro.serve import RetrievalServer
 
+    if args.socket is not None:
+        return _serve_socket(args)
     trainer = MatchTrainer.load(args.checkpoint)
     index = open_index(args.index, trainer)
     store = ArtifactStore(args.store) if args.store else None
@@ -508,6 +525,72 @@ def cmd_serve(args) -> int:
         f"({stats.errors} errors)",
         file=sys.stderr,
     )
+    return 0
+
+
+def _serve_socket(args) -> int:
+    """Run the concurrent socket service until interrupted.
+
+    ``SIGHUP`` hot-swaps the index (re-reads the manifest at the served
+    path) without dropping in-flight queries; so does a
+    ``{"control": "reload"}`` request on any connection.
+    """
+    import signal
+    import threading
+
+    from repro.serve import ServerConfig, create_server
+
+    if not os.path.exists(args.checkpoint):
+        print(f"serve: no checkpoint at {args.checkpoint}", file=sys.stderr)
+        return 1
+    addr = args.socket
+    config = dict(
+        checkpoint=args.checkpoint,
+        index_path=args.index,
+        workers=args.workers,
+        max_batch=args.batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_depth=args.queue_depth,
+        default_k=args.top_k,
+        store_root=args.store,
+    )
+    if addr.startswith("unix:"):
+        config["unix_socket"] = addr[len("unix:"):]
+    else:
+        host, _, port = addr.rpartition(":")
+        if not host or not port.isdigit():
+            print(f"serve: --socket wants HOST:PORT or unix:PATH, got {addr!r}",
+                  file=sys.stderr)
+            return 1
+        config["host"], config["port"] = host, int(port)
+    server = create_server(ServerConfig(**config))
+    stop = threading.Event()
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, lambda *_: server.reload_index())
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    server.start()
+    bound = server.address
+    shown = bound if isinstance(bound, str) else f"{bound[0]}:{bound[1]}"
+    # Status goes to stderr, like stdin mode: parseable by wrapper scripts.
+    print(
+        f"serving on {shown} (workers={args.workers}, max-batch={args.batch}, "
+        f"max-delay={args.max_delay_ms:g}ms, queue-depth={args.queue_depth}, "
+        f"top-k={args.top_k})",
+        file=sys.stderr,
+        flush=True,
+    )
+    try:
+        stop.wait()
+    finally:
+        server.close()
+        snap = server.stats_snapshot()
+        print(
+            f"served {snap['responses']} responses in {snap['batches']} batches "
+            f"({snap['errors']} errors, {snap['shed']} shed, "
+            f"{snap['worker_crashes']} worker crashes)",
+            file=sys.stderr,
+        )
     return 0
 
 

@@ -1,0 +1,277 @@
+"""App factory: assemble front end + scheduler + worker pool into a service.
+
+:func:`create_server` is the one construction point (the app-factory
+shape: configuration in, fully wired `ConcurrentServer` out, nothing
+global), used by ``repro serve --socket`` and by the concurrency tests
+and load bench directly::
+
+    config = ServerConfig(checkpoint="model.npz", index_path="index_dir",
+                          host="127.0.0.1", port=0, workers=4)
+    with create_server(config) as server:
+        host, port = server.address
+        ...
+
+Request path: reader thread → :func:`parse_request` → admission
+(:class:`MicroBatchScheduler`; full ⇒ immediate ``overloaded`` shed
+response with ``retry_after_ms``) → micro-batch → least-loaded worker
+process → ordered per-connection delivery.  Control requests
+(``{"control": "reload" | "stats"}``) bypass the scheduler: ``reload``
+flushes buffered queries (they are served on the old index), hot-swaps
+every worker onto the re-read manifest, and acks with worker counts;
+``stats`` reports the live counters.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.index import validate_k
+from repro.serve.core import parse_request, request_id_of
+from repro.serve.frontend import Connection, SocketFrontend
+from repro.serve.pool import WorkerPool
+from repro.serve.scheduler import MicroBatchScheduler
+
+
+@dataclass
+class ServerConfig:
+    """Everything the factory needs to wire a concurrent retrieval server."""
+
+    checkpoint: str
+    index_path: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    unix_socket: Optional[str] = None  # overrides host/port when set
+    workers: int = 2
+    max_batch: int = 8
+    max_delay_ms: float = 10.0
+    queue_depth: int = 64
+    default_k: Optional[int] = 5
+    store_root: Optional[str] = None
+    max_line_bytes: int = 1 << 20
+    enable_test_hooks: bool = False  # fault-injection requests, tests only
+
+
+@dataclass
+class ServerStats:
+    """Live counters (the ``{"control": "stats"}`` payload)."""
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    shed: int = 0
+    batches: int = 0
+    crashed_batches: int = 0
+    swaps: int = 0
+
+
+class _Entry:
+    """One admitted request riding through scheduler → pool → delivery."""
+
+    __slots__ = ("conn", "seq", "request")
+
+    def __init__(self, conn: Connection, seq: int, request: dict):
+        self.conn = conn
+        self.seq = seq
+        self.request = request
+
+
+class ConcurrentServer:
+    """Socket service: N clients, N workers, micro-batched in between."""
+
+    def __init__(self, config: ServerConfig):  # noqa: D107
+        validate_k(config.default_k)
+        self.config = config
+        self.stats = ServerStats()
+        self._stats_lock = threading.Lock()
+        self._batch_ids = iter(range(1, 1 << 62))
+        self._inflight: Dict[int, List[_Entry]] = {}
+        self._inflight_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self.pool = WorkerPool(
+            config.checkpoint,
+            config.index_path,
+            workers=config.workers,
+            default_k=config.default_k,
+            max_batch=config.max_batch,
+            store_root=config.store_root,
+            enable_test_hooks=config.enable_test_hooks,
+            on_batch_done=self._on_batch_done,
+            on_batch_failed=self._on_batch_failed,
+        )
+        self.scheduler = MicroBatchScheduler(
+            self._dispatch,
+            max_batch=config.max_batch,
+            max_delay_ms=config.max_delay_ms,
+            max_pending=config.queue_depth,
+        )
+        address = config.unix_socket or (config.host, config.port)
+        self.frontend = SocketFrontend(
+            address, self._on_line, max_line_bytes=config.max_line_bytes
+        )
+        self.address = None
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self):
+        """Spawn workers, start the scheduler, bind the socket."""
+        self.pool.start()
+        self.scheduler.start()
+        self.address = self.frontend.start()
+        return self.address
+
+    def close(self) -> None:
+        """Shut down: stop intake, drain buffered work, stop workers."""
+        self.frontend.close()
+        self.scheduler.close(drain=True)
+        self.pool.close()
+        # Anything still in flight has no worker left to finish it.
+        with self._inflight_lock:
+            leftovers = list(self._inflight.items())
+            self._inflight.clear()
+        for _, entries in leftovers:
+            for entry in entries:
+                entry.conn.deliver(
+                    entry.seq,
+                    {"id": entry.request.get("id"), "error": "server shutting down"},
+                )
+
+    def __enter__(self) -> "ConcurrentServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- intake
+    def _on_line(self, conn: Connection, seq: int, line: str) -> None:
+        with self._stats_lock:
+            self.stats.requests += 1
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            obj = None
+        if isinstance(obj, dict) and "control" in obj:
+            self._handle_control(conn, seq, obj)
+            return
+        try:
+            request = parse_request(line, self.config.default_k)
+        except ValueError as exc:
+            self._count_error()
+            conn.deliver(seq, {"id": request_id_of(line), "error": str(exc)})
+            return
+        entry = _Entry(conn, seq, request)
+        if not self.scheduler.offer(entry):
+            with self._stats_lock:
+                self.stats.shed += 1
+            conn.deliver(
+                seq,
+                {
+                    "id": request.get("id"),
+                    "error": "overloaded",
+                    "retry_after_ms": int(self.config.max_delay_ms) + 1,
+                },
+            )
+
+    def _handle_control(self, conn: Connection, seq: int, obj: dict) -> None:
+        command = obj.get("control")
+        rid = obj.get("id")
+        if command == "stats":
+            conn.deliver(seq, {"id": rid, "stats": self.stats_snapshot()})
+        elif command == "reload":
+            try:
+                result = self.reload_index(obj.get("index"))
+            except Exception as exc:
+                self._count_error()
+                conn.deliver(seq, {"id": rid, "error": f"reload failed: {exc}"})
+                return
+            conn.deliver(seq, dict({"id": rid, "reloaded": True}, **result))
+        else:
+            self._count_error()
+            conn.deliver(
+                seq,
+                {"id": rid, "error": f"unknown control {command!r}"},
+            )
+
+    # ------------------------------------------------------------ hot swap
+    def reload_index(self, index_path: Optional[str] = None) -> Dict[str, object]:
+        """Hot-swap every worker onto ``index_path`` (default: re-read).
+
+        Queries already admitted are flushed first — they finish on the
+        old index; queries arriving after the swap see the new one.
+        In-flight queries are never dropped.
+        """
+        path = index_path or self.pool.index_path
+        with self._swap_lock:
+            self.scheduler.flush_now()
+            result = self.pool.swap(path)
+        with self._stats_lock:
+            self.stats.swaps += 1
+        result["index"] = path
+        return result
+
+    # ----------------------------------------------------------- dispatch
+    def _dispatch(self, entries: Sequence[_Entry]) -> None:
+        batch_id = next(self._batch_ids)
+        with self._inflight_lock:
+            self._inflight[batch_id] = list(entries)
+        with self._stats_lock:
+            self.stats.batches += 1
+        self.pool.submit(batch_id, [e.request for e in entries])
+
+    def _take_inflight(self, batch_id: int) -> List[_Entry]:
+        with self._inflight_lock:
+            return self._inflight.pop(batch_id, [])
+
+    def _on_batch_done(self, batch_id: int, responses: List[dict]) -> None:
+        entries = self._take_inflight(batch_id)
+        for i, entry in enumerate(entries):
+            if i < len(responses):
+                response = responses[i]
+            else:  # defensive: a short reply must not strand the client
+                response = {
+                    "id": entry.request.get("id"),
+                    "error": "worker returned no response for this request",
+                }
+            if "error" in response:
+                self._count_error()
+            self._finish(entry, response)
+
+    def _on_batch_failed(self, batch_id: int, message: str) -> None:
+        entries = self._take_inflight(batch_id)
+        with self._stats_lock:
+            self.stats.crashed_batches += 1
+        for entry in entries:
+            self._count_error()
+            self._finish(entry, {"id": entry.request.get("id"), "error": message})
+
+    def _finish(self, entry: _Entry, response: dict) -> None:
+        entry.conn.deliver(entry.seq, response)
+        self.scheduler.release(1)
+        with self._stats_lock:
+            self.stats.responses += 1
+
+    # ------------------------------------------------------------- helpers
+    def _count_error(self) -> None:
+        with self._stats_lock:
+            self.stats.errors += 1
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        """Copy of the counters plus scheduler/pool detail."""
+        with self._stats_lock:
+            snap = dict(self.stats.__dict__)
+        sched = self.scheduler.stats
+        snap.update(
+            workers=self.pool.num_workers,
+            worker_crashes=self.pool.crashes,
+            pending=self.scheduler.pending,
+            flushed_on_size=sched.flushed_on_size,
+            flushed_on_deadline=sched.flushed_on_deadline,
+        )
+        return snap
+
+
+def create_server(config: ServerConfig) -> ConcurrentServer:
+    """The app factory: one wired (not yet started) concurrent server."""
+    return ConcurrentServer(config)

@@ -1,4 +1,4 @@
-"""JSON-lines retrieval service: the long-lived process behind ``repro serve``.
+"""JSON-lines retrieval core: protocol parsing and the batched handler.
 
 The paper's end product is a matcher that ranks source candidates for
 binary queries; this module turns the retrieval stack into a service. One
@@ -9,6 +9,12 @@ optional artifact store) and one warm index — monolithic
 request of the process lifetime, and pipelined requests are batched so Q
 queued queries cost one batched encoder pass plus one tiled pair-head
 pass instead of Q of each (see :meth:`EmbeddingIndex.topk_batch`).
+
+This is both the whole service in stdin mode (``repro serve``) and the
+protocol/handler layer of the concurrent socket service
+(:mod:`repro.serve.app`): worker processes run :meth:`handle_batch` on
+micro-batches the scheduler formed, and the front end validates lines
+with :func:`parse_request` before admitting them.
 
 Protocol (one JSON object per line, responses in request order)::
 
@@ -44,11 +50,53 @@ from repro.index import validate_k
 _QUERY_FIELDS = ("binary_b64", "source")
 
 
+def parse_request(line: str, default_k: Optional[int]) -> dict:
+    """One JSON line → validated request dict (raises ValueError).
+
+    The single protocol validator, shared by the stdin server and the
+    socket front end so both reject exactly the same malformed requests.
+    Unknown extra fields are preserved on the returned dict; ``k``
+    defaults to ``default_k`` when the request omits it.
+    """
+    try:
+        req = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"bad JSON: {exc}") from exc
+    if not isinstance(req, dict):
+        raise ValueError("request must be a JSON object")
+    present = [f for f in _QUERY_FIELDS if f in req]
+    if len(present) != 1:
+        raise ValueError(
+            "request needs exactly one of 'binary_b64' / 'source', "
+            f"got {present or 'neither'}"
+        )
+    if "source" in req and not isinstance(req.get("language"), str):
+        raise ValueError("'source' requests need a 'language' string")
+    k = req.get("k", default_k)
+    if k is not None and (isinstance(k, bool) or not isinstance(k, int) or k < 1):
+        raise ValueError(f"'k' must be a positive integer or null, got {k!r}")
+    req["k"] = k
+    return req
+
+
+def request_id_of(line: str):
+    """Best-effort ``id`` echo for a line that failed validation."""
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return obj.get("id") if isinstance(obj, dict) else None
+
+
 def _fd_ready(fd: int) -> bool:
+    # A closed/invalid fd can deliver no further input: report it as
+    # not-pending so the loop flushes what it holds instead of stalling a
+    # partial batch behind input that will never arrive (a blanket
+    # "return True" here once masked exactly that).
     try:
         ready, _, _ = select.select([fd], [], [], 0)
     except (OSError, ValueError):
-        return True
+        return False
     return bool(ready)
 
 
@@ -130,25 +178,7 @@ class RetrievalServer:
     # ----------------------------------------------------------- requests
     def _parse(self, line: str) -> dict:
         """One JSON line → validated request dict (raises ValueError)."""
-        try:
-            req = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"bad JSON: {exc}") from exc
-        if not isinstance(req, dict):
-            raise ValueError("request must be a JSON object")
-        present = [f for f in _QUERY_FIELDS if f in req]
-        if len(present) != 1:
-            raise ValueError(
-                "request needs exactly one of 'binary_b64' / 'source', "
-                f"got {present or 'neither'}"
-            )
-        if "source" in req and not isinstance(req.get("language"), str):
-            raise ValueError("'source' requests need a 'language' string")
-        k = req.get("k", self.default_k)
-        if k is not None and (isinstance(k, bool) or not isinstance(k, int) or k < 1):
-            raise ValueError(f"'k' must be a positive integer or null, got {k!r}")
-        req["k"] = k
-        return req
+        return parse_request(line, self.default_k)
 
     def _query_graph(self, req: dict):
         """Request → query program graph (raises ValueError)."""
@@ -252,13 +282,7 @@ class RetrievalServer:
                 batch.append(self._parse(line))
             except ValueError as exc:
                 flush()
-                rid = None
-                try:  # echo the id when the line was at least valid JSON
-                    obj = json.loads(line)
-                    if isinstance(obj, dict):
-                        rid = obj.get("id")
-                except json.JSONDecodeError:
-                    pass
+                rid = request_id_of(line)
                 out_stream.write(json.dumps({"id": rid, "error": str(exc)}) + "\n")
                 out_stream.flush()
                 self.stats.errors += 1

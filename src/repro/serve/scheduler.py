@@ -1,0 +1,164 @@
+"""Micro-batching scheduler: admission-bounded, flush on size **or** deadline.
+
+The stdin loop batches opportunistically — it flushes whenever the input
+runs dry (:func:`repro.serve.core._lines_with_pending`), which works for
+one pipe but has no notion of latency across many concurrent clients.
+:class:`MicroBatchScheduler` generalizes that heuristic into explicit
+knobs:
+
+* a batch flushes as soon as it holds ``max_batch`` entries (throughput
+  bound), **or** when the oldest buffered entry has waited
+  ``max_delay_ms`` (latency bound) — whichever comes first, so a lone
+  request is answered within one deadline instead of waiting for a batch
+  that will never fill;
+* admission is bounded end-to-end: at most ``max_pending`` entries may be
+  admitted-but-unanswered at once.  :meth:`offer` returns False beyond
+  that — the caller sheds the request immediately (an ``overloaded``
+  response) instead of queueing unbounded work — and the caller returns
+  capacity with :meth:`release` once a response is delivered.
+
+The scheduler is transport-agnostic: entries are opaque objects, and the
+``flush`` callback (called off-lock, on the scheduler thread or the
+:meth:`flush_now` caller's thread) hands each formed batch downstream —
+in the concurrent server, to the worker pool dispatcher.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+
+@dataclass
+class SchedulerStats:
+    """Counters for one scheduler lifetime (guarded by the scheduler lock)."""
+
+    admitted: int = 0
+    shed: int = 0
+    batches: int = 0
+    flushed_on_size: int = 0
+    flushed_on_deadline: int = 0
+    batch_sizes: List[int] = field(default_factory=list)
+
+
+class MicroBatchScheduler:
+    """Bounded queue + batch former in front of the worker pool."""
+
+    def __init__(
+        self,
+        flush: Callable[[Sequence[object]], None],
+        *,
+        max_batch: int = 8,
+        max_delay_ms: float = 10.0,
+        max_pending: int = 64,
+    ):  # noqa: D107
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_ms < 0:
+            raise ValueError(f"max_delay_ms must be >= 0, got {max_delay_ms}")
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.max_batch = max_batch
+        self.max_delay = max_delay_ms / 1000.0
+        self.max_pending = max_pending
+        self._flush_cb = flush
+        self._buf: deque = deque()  # (arrival_monotonic, entry)
+        self._pending = 0
+        self._closed = False
+        self._cond = threading.Condition()
+        self.stats = SchedulerStats()
+        self._thread = threading.Thread(
+            target=self._loop, name="serve-scheduler", daemon=True
+        )
+
+    # ----------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the batch-forming thread."""
+        self._thread.start()
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the scheduler; with ``drain``, flush what is still buffered."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        if self._thread.is_alive():
+            self._thread.join(timeout=5)
+        if drain:
+            self.flush_now()
+
+    # ----------------------------------------------------------- admission
+    def offer(self, entry) -> bool:
+        """Admit one entry; False when the server is at ``max_pending``."""
+        with self._cond:
+            if self._closed or self._pending >= self.max_pending:
+                self.stats.shed += 1
+                return False
+            self._pending += 1
+            self.stats.admitted += 1
+            self._buf.append((time.monotonic(), entry))
+            self._cond.notify_all()
+        return True
+
+    def release(self, n: int = 1) -> None:
+        """Return capacity for ``n`` entries whose responses were delivered."""
+        with self._cond:
+            self._pending = max(0, self._pending - n)
+
+    @property
+    def pending(self) -> int:
+        """Entries admitted but not yet released (buffered or in flight)."""
+        with self._cond:
+            return self._pending
+
+    # ------------------------------------------------------ batch forming
+    def _pop_batch_locked(self) -> List[object]:
+        batch = []
+        while self._buf and len(batch) < self.max_batch:
+            batch.append(self._buf.popleft()[1])
+        if batch:
+            self.stats.batches += 1
+            self.stats.batch_sizes.append(len(batch))
+        return batch
+
+    def flush_now(self) -> int:
+        """Synchronously flush everything buffered (hot-swap barrier).
+
+        Returns how many entries were flushed.  Used before an index
+        hot-swap so queries admitted before the swap are dispatched —
+        and therefore served on the old index — before any worker sees
+        the swap message.
+        """
+        flushed = 0
+        while True:
+            with self._cond:
+                if not self._buf:
+                    return flushed
+                batch = self._pop_batch_locked()
+            flushed += len(batch)
+            self._flush_cb(batch)
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._buf and not self._closed:
+                    self._cond.wait()
+                if self._closed:
+                    return  # close() drains what is left
+                deadline = self._buf[0][0] + self.max_delay
+                while len(self._buf) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._buf:
+                        break
+                    self._cond.wait(remaining)
+                if not self._buf:
+                    continue
+                if len(self._buf) >= self.max_batch:
+                    self.stats.flushed_on_size += 1
+                else:
+                    self.stats.flushed_on_deadline += 1
+                batch = self._pop_batch_locked()
+            if batch:
+                self._flush_cb(batch)

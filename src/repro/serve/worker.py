@@ -1,0 +1,107 @@
+"""Worker process: one warm pipeline + index pair behind a task queue.
+
+Each worker the pool spawns loads the checkpoint and opens the (sharded)
+index read-only from disk — N workers share one on-disk
+:class:`~repro.index.ShardedEmbeddingIndex`, each materializing shards
+lazily — then loops on its task queue:
+
+* ``("batch", batch_id, requests)`` — claim it by writing the batch id
+  into this worker's shared-memory claim slot (a direct write, not a
+  queue message: a queue put rides a feeder thread and can vanish when
+  the process dies hard, which would leave the dispatcher unable to tell
+  which batch died), run the same :meth:`RetrievalServer.handle_batch`
+  the stdin service runs, and post the ordered responses;
+* ``("swap", index_path, token)`` — re-open the index manifest at
+  ``index_path`` and ack.  Because the task queue is FIFO, every batch
+  dispatched before the swap is served on the old index and every batch
+  after it on the new one — the hot-swap ordering guarantee;
+* ``None`` — exit.
+
+A failing batch never kills the worker (errors become per-request error
+responses); a *crashing* worker (hard exit mid-batch) is detected by the
+pool, which fails the claimed batch and respawns the slot.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+NO_CLAIM = -1  # claim-slot value meaning "no batch running"
+
+
+def worker_main(
+    worker_id: int,
+    task_queue,
+    result_queue,
+    claims,
+    checkpoint: str,
+    index_path: str,
+    default_k,
+    max_batch: int,
+    store_root,
+    enable_test_hooks: bool,
+) -> None:
+    """Entry point for one spawned worker process."""
+    try:
+        from repro.artifacts import ArtifactStore
+        from repro.core.trainer import MatchTrainer
+        from repro.index import open_index
+        from repro.serve.core import RetrievalServer
+
+        trainer = MatchTrainer.load(checkpoint)
+        index = open_index(index_path, trainer)
+        store = ArtifactStore(store_root) if store_root else None
+        server = RetrievalServer(
+            trainer, index, batch_size=max_batch, default_k=default_k, store=store
+        )
+    except Exception as exc:  # pragma: no cover - startup failure path
+        result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    result_queue.put(("ready", worker_id))
+    while True:
+        msg = task_queue.get()
+        if msg is None:
+            return
+        kind = msg[0]
+        if kind == "swap":
+            _, path, token = msg
+            try:
+                server.index = open_index(path, trainer)
+                result_queue.put(("swapped", worker_id, token, None))
+            except Exception as exc:
+                result_queue.put(
+                    ("swapped", worker_id, token, f"{type(exc).__name__}: {exc}")
+                )
+            continue
+        _, batch_id, requests = msg
+        claims[worker_id] = batch_id
+        if enable_test_hooks:
+            _run_test_hooks(requests)
+        try:
+            responses = server.handle_batch(requests)
+        except Exception as exc:
+            # handle_batch turns per-request failures into error responses
+            # already; anything that still escapes fails the batch without
+            # poisoning the worker for later batches.
+            responses = [
+                {"id": r.get("id"), "error": f"batch failed: {exc}"} for r in requests
+            ]
+        result_queue.put(("batch", worker_id, batch_id, responses))
+        claims[worker_id] = NO_CLAIM
+
+
+def _run_test_hooks(requests) -> None:
+    """Fault-injection hooks, honored only under ``enable_test_hooks``.
+
+    ``test_sleep_ms`` holds the batch in flight (deterministic backpressure
+    and hot-swap tests); ``test_crash`` hard-exits mid-batch (crash
+    recovery tests).  Production servers never enable these.
+    """
+    for req in requests:
+        delay = req.get("test_sleep_ms")
+        if isinstance(delay, (int, float)) and delay > 0:
+            time.sleep(delay / 1000.0)
+        if req.get("test_crash"):
+            os._exit(13)

@@ -267,6 +267,56 @@ class TestErrors:
         assert "error" in responses[0] and responses[0]["id"] == "x"
 
 
+class TestInputEdgeCases:
+    def test_fd_ready_reports_closed_fd_as_not_pending(self):
+        """A closed fd can deliver no more input: `_fd_ready` must say
+        not-pending so the loop flushes what it holds.  A blanket `return
+        True` on select() errors once stalled partial batches forever."""
+        import os
+
+        from repro.serve.core import _fd_ready
+
+        read_fd, write_fd = os.pipe()
+        os.close(write_fd)
+        os.close(read_fd)
+        assert _fd_ready(read_fd) is False  # EBADF -> OSError
+        assert _fd_ready(-1) is False  # ValueError
+
+    def test_final_request_without_trailing_newline(self, trained, index, corpus):
+        """EOF right after the last request (no trailing newline) must still
+        serve it, not drop it on the floor."""
+        c, _ = corpus
+        server = RetrievalServer(trained, index, default_k=1)
+        out = io.StringIO()
+        stats = server.serve(io.StringIO(_binary_request(c[0], id="last")), out)
+        assert stats.requests == 1
+        assert json.loads(out.getvalue())["id"] == "last"
+
+    def test_final_request_without_trailing_newline_pipe(
+        self, trained, index, corpus
+    ):
+        """Same contract over a real pipe: earlier complete lines batch as
+        usual and the unterminated final line is served at EOF."""
+        import os
+
+        c, _ = corpus
+        server = RetrievalServer(trained, index, batch_size=4, default_k=1)
+        read_fd, write_fd = os.pipe()
+        payload = (
+            _binary_request(c[0], id="first") + "\n" + _binary_request(c[1], id="last")
+        ).encode()
+        os.write(write_fd, payload)
+        os.close(write_fd)
+        out = io.StringIO()
+        with os.fdopen(read_fd, "r") as in_stream:
+            stats = server.serve(in_stream, out)
+        assert stats.requests == 2
+        assert [json.loads(l)["id"] for l in out.getvalue().splitlines()] == [
+            "first",
+            "last",
+        ]
+
+
 class TestShardedServing:
     def test_sharded_index_behind_server(self, trained, index, corpus, tmp_path):
         c, _ = corpus
