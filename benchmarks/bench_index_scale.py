@@ -1,0 +1,318 @@
+"""Million-candidate retrieval shape: ANN + quantized mmap shards at scale.
+
+Not a paper table: this bench backs the scalable index layer (PR 7).  The
+paper's retrieval use case (§I — find the source for a binary fragment)
+is a top-k query against a corpus that keeps growing; the exact path
+scores every entry through the pair head and keeps the whole float32
+matrix resident, both linear in corpus size.  The shapes asserted here
+are the ones that justify the subsystem:
+
+* **recall/speedup frontier** — on a synthetic clustered corpus
+  (``CORPUS_SIZE`` entries, ≥ 50k at full scale), sweeping ``nprobe``
+  traces a recall@10-vs-speedup frontier against the exact flat-float32
+  path; the gate requires a point with recall@10 ≥ 0.95 at ≥ 10× speedup
+  (≥ 2.5× in the reduced smoke run, where the corpus is too small for
+  pruning to amortize its fixed costs);
+* **bounded memory** — the int8 shards are memory-mapped and dequantized
+  in bounded blocks: the instrumented peak of concurrently-resident
+  dequantized bytes stays a small fraction of the flat float32 matrix,
+  and (full scale) a child process serving the quantized index peaks at
+  a lower RSS than one serving the float32 flat index.
+
+Ground truth is tie-aware: a returned hit counts as correct when its
+exact score reaches the 10th-best exact score minus a float32-jitter
+epsilon, so ranking flips inside score ties do not read as recall loss.
+Everything measured lands in ``benchmarks/perf/BENCH_index_scale.json``.
+Set ``REPRO_BENCH_SMOKE=1`` for the reduced-size CI run (same gates,
+smaller corpus and speedup floor).
+"""
+
+import multiprocessing
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.index import EmbeddingIndex, ShardedEmbeddingIndex, open_index
+from repro.utils.tables import Table
+
+from benchmarks.common import (
+    BENCH_SEED,
+    crosslang_dataset,
+    run_once,
+    trained_gbm,
+    write_perf_record,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+# dim = 2 * hidden_dim; the full run uses a wider head so the flat matrix
+# is big enough (64 MiB) for the memory gates to measure something real.
+HIDDEN_DIM = 16 if SMOKE else 64
+CORPUS_SIZE = 8192 if SMOKE else 65536
+CELLS = 64 if SMOKE else 512
+SHARD_SIZE = 2048 if SMOKE else 8192
+NUM_QUERIES = 16
+TOP_K = 10
+NPROBES = (1, 2, 4, 8, 16)
+RECALL_FLOOR = 0.95
+# Pruning amortizes per-query/per-shard dispatch only once the corpus is
+# large; the smoke corpus is 8× smaller, so its floor is proportionally lax.
+SPEEDUP_FLOOR = 2.5 if SMOKE else 10.0
+SCALE_MODEL = dict(epochs=2, hidden_dim=HIDDEN_DIM, embed_dim=16, num_layers=1)
+
+
+def _synthetic_corpus(dim: int):
+    """Clustered unit-scale embeddings: CELLS blobs, CORPUS_SIZE rows.
+
+    Unit scale keeps the pair head's sigmoid off its saturated plateaus
+    (saturation collapses scores into ties and recall would measure the
+    tie-break, not the pruning); tight blobs give the coarse quantizer a
+    recoverable cell structure, the regime ANN indexes are built for.
+    """
+    rng = np.random.default_rng(BENCH_SEED)
+    centers = rng.standard_normal((CELLS, dim)).astype(np.float32)
+    assign = np.arange(CORPUS_SIZE) % CELLS
+    rows = centers[assign] + 0.05 * rng.standard_normal(
+        (CORPUS_SIZE, dim)
+    ).astype(np.float32)
+    # Queries: corpus rows (spread across blobs) plus a small perturbation.
+    picks = rng.choice(CORPUS_SIZE, size=NUM_QUERIES, replace=False)
+    queries = rows[picks] + 0.01 * rng.standard_normal(
+        (NUM_QUERIES, dim)
+    ).astype(np.float32)
+    return rows, queries
+
+
+def _keys(n: int):
+    return [f"{i:064x}" for i in range(n)]
+
+
+def _vm_rss_bytes() -> int:
+    with open("/proc/self/status") as fh:
+        for line in fh:
+            if line.startswith("VmRSS:"):
+                return int(line.split()[1]) * 1024
+    return 0
+
+
+def _rss_probe(index_path, checkpoint, queries_path, out):
+    """Child body: open an index, run one query pass, report peak RSS.
+
+    ``ru_maxrss`` is useless here: some kernels carry the parent's
+    high-water mark across fork+exec, so both probes would report the
+    bench process's own peak.  Sample ``VmRSS`` around the work instead —
+    numpy releases the GIL inside the big matmuls, so the sampler thread
+    observes the scoring-time footprint.
+    """
+    import threading
+
+    from repro.core.trainer import MatchTrainer
+
+    peak = [_vm_rss_bytes()]
+    stop = threading.Event()
+
+    def sample():
+        while not stop.is_set():
+            peak[0] = max(peak[0], _vm_rss_bytes())
+            time.sleep(0.001)
+
+    sampler = threading.Thread(target=sample, daemon=True)
+    sampler.start()
+    trainer = MatchTrainer.load(checkpoint)
+    index = open_index(index_path, trainer)
+    queries = np.load(queries_path)
+    index.topk_batch(embeddings=queries, k=TOP_K)
+    stop.set()
+    sampler.join()
+    out.put(max(peak[0], _vm_rss_bytes()))
+
+
+def _child_rss(index_path, checkpoint, queries_path) -> int:
+    ctx = multiprocessing.get_context("spawn")
+    out = ctx.Queue()
+    proc = ctx.Process(
+        target=_rss_probe, args=(str(index_path), str(checkpoint), str(queries_path), out)
+    )
+    proc.start()
+    rss = out.get(timeout=600)
+    proc.join(timeout=60)
+    return int(rss)
+
+
+def _run():
+    dataset, _ = crosslang_dataset(("c",), ("java",), num_tasks=12, variants=2)
+    trainer = trained_gbm(f"index-scale-h{HIDDEN_DIM}", dataset, **SCALE_MODEL)
+    dim = 2 * trainer.config.hidden_dim
+    rows, queries = _synthetic_corpus(dim)
+    flat_bytes = rows.nbytes
+
+    mono = EmbeddingIndex(trainer)
+    mono.add_precomputed(_keys(CORPUS_SIZE), rows)
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-iscale-") as tmp:
+        tmp = Path(tmp)
+        t0 = time.perf_counter()
+        ShardedEmbeddingIndex.from_index(mono, tmp / "flat", SHARD_SIZE)
+        flat_build_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ShardedEmbeddingIndex.from_index(
+            mono,
+            tmp / "quant",
+            SHARD_SIZE,
+            codec="int8",
+            cells=CELLS,
+            quantizer_seed=BENCH_SEED,
+        )
+        quant_build_s = time.perf_counter() - t0
+
+        flat = ShardedEmbeddingIndex.open(tmp / "flat", trainer)
+        quant = ShardedEmbeddingIndex.open(tmp / "quant", trainer)
+
+        # Exact reference: the flat float32 matrix path (bit parity with
+        # the monolithic index).  Warm once — shard loads and the gather
+        # cache are one-time costs every serving process pays at startup.
+        flat.topk_batch(embeddings=queries[:1], k=TOP_K)
+        t0 = time.perf_counter()
+        flat.topk_batch(embeddings=queries, k=TOP_K)
+        exact_s = time.perf_counter() - t0
+
+        # Streamed exact over the quantized mmap (recorded, not gated on
+        # speed): resident dequantized bytes are the memory story.
+        quant.scores_batch(embeddings=queries[:1])  # warm mmaps
+        t0 = time.perf_counter()
+        exact_scores = quant.scores_batch(embeddings=queries)
+        stream_exact_s = time.perf_counter() - t0
+        stream_peak = quant.last_peak_dequant_bytes
+
+        # Tie-aware ground truth on the same stored rows the ANN path
+        # rescans, so recall isolates the pruning (not int8 noise, not
+        # last-bit jitter between scoring-batch shapes).
+        kth = -np.partition(-exact_scores, TOP_K - 1, axis=1)[:, TOP_K - 1]
+        truth = exact_scores >= (kth[:, None] - 1e-6)
+
+        frontier = []
+        ann_peak = 0
+        for nprobe in NPROBES:
+            quant.topk_batch(
+                embeddings=queries[:1], k=TOP_K, mode="ann", nprobe=nprobe
+            )
+            t0 = time.perf_counter()
+            hit_lists = quant.topk_batch(
+                embeddings=queries, k=TOP_K, mode="ann", nprobe=nprobe
+            )
+            ann_s = time.perf_counter() - t0
+            ann_peak = max(ann_peak, quant.last_peak_dequant_bytes)
+            correct = sum(
+                int(truth[qi, hit.index])
+                for qi, hits in enumerate(hit_lists)
+                for hit in hits
+            )
+            frontier.append(
+                {
+                    "nprobe": nprobe,
+                    "recall_at_10": correct / (NUM_QUERIES * TOP_K),
+                    "ann_s": ann_s,
+                    "speedup_vs_exact": exact_s / ann_s,
+                }
+            )
+
+        rss = {}
+        if not SMOKE:
+            checkpoint = tmp / "model.npz"
+            trainer.save(checkpoint)
+            queries_path = tmp / "queries.npy"
+            np.save(queries_path, queries)
+            rss = {
+                "flat_rss_bytes": _child_rss(tmp / "flat", checkpoint, queries_path),
+                "quant_rss_bytes": _child_rss(tmp / "quant", checkpoint, queries_path),
+            }
+
+    return {
+        "dim": dim,
+        "flat_bytes": flat_bytes,
+        "flat_build_s": flat_build_s,
+        "quant_build_s": quant_build_s,
+        "exact_s": exact_s,
+        "stream_exact_s": stream_exact_s,
+        "stream_peak_dequant_bytes": stream_peak,
+        "ann_peak_dequant_bytes": ann_peak,
+        "frontier": frontier,
+        "rss": rss,
+    }
+
+
+def test_index_scale_frontier(benchmark):
+    r = run_once(benchmark, _run)
+    table = Table(
+        f"ANN frontier: {CORPUS_SIZE} entries, dim {r['dim']}, "
+        f"{CELLS} cells, {NUM_QUERIES} queries",
+        ["nprobe", "Recall@10", "ANN s", "Speedup"],
+    )
+    for point in r["frontier"]:
+        table.add_row(
+            point["nprobe"],
+            round(point["recall_at_10"], 3),
+            round(point["ann_s"], 3),
+            round(point["speedup_vs_exact"], 1),
+        )
+    print()
+    print(table.render())
+    print(
+        f"exact {r['exact_s']:.3f}s flat / {r['stream_exact_s']:.3f}s streamed; "
+        f"peak dequant {r['stream_peak_dequant_bytes'] / 1024:.0f} KiB vs "
+        f"{r['flat_bytes'] / 1024:.0f} KiB flat"
+    )
+    if r["rss"]:
+        print(
+            f"child RSS: flat {r['rss']['flat_rss_bytes'] >> 20} MiB, "
+            f"quantized {r['rss']['quant_rss_bytes'] >> 20} MiB"
+        )
+
+    # The frontier gate: some probe count reaches the recall floor while
+    # still clearing the speedup floor.
+    viable = [
+        p
+        for p in r["frontier"]
+        if p["recall_at_10"] >= RECALL_FLOOR
+        and p["speedup_vs_exact"] >= SPEEDUP_FLOOR
+    ]
+    assert viable, (
+        f"no nprobe reaches recall@10 >= {RECALL_FLOOR} at >= "
+        f"{SPEEDUP_FLOOR}x: {r['frontier']}"
+    )
+    # More probes must never cost recall: the probe sets are nested.
+    recalls = [p["recall_at_10"] for p in r["frontier"]]
+    assert recalls == sorted(recalls), recalls
+
+    # Memory gates: block streaming keeps the dequantized working set a
+    # small fraction of the flat matrix, on both exact and ANN paths.
+    assert 0 < r["stream_peak_dequant_bytes"] <= r["flat_bytes"] // 2
+    assert 0 < r["ann_peak_dequant_bytes"] <= r["flat_bytes"] // 2
+    if r["rss"]:
+        assert r["rss"]["quant_rss_bytes"] < r["rss"]["flat_rss_bytes"]
+
+    write_perf_record(
+        "index_scale",
+        {
+            "smoke": SMOKE,
+            "corpus_size": CORPUS_SIZE,
+            "dim": r["dim"],
+            "cells": CELLS,
+            "shard_size": SHARD_SIZE,
+            "num_queries": NUM_QUERIES,
+            "top_k": TOP_K,
+            "flat_bytes": r["flat_bytes"],
+            "flat_build_s": r["flat_build_s"],
+            "quant_build_s": r["quant_build_s"],
+            "exact_s": r["exact_s"],
+            "stream_exact_s": r["stream_exact_s"],
+            "stream_peak_dequant_bytes": r["stream_peak_dequant_bytes"],
+            "ann_peak_dequant_bytes": r["ann_peak_dequant_bytes"],
+            "frontier": r["frontier"],
+            "recall_floor": RECALL_FLOOR,
+            "speedup_floor": SPEEDUP_FLOOR,
+            **r["rss"],
+        },
+    )

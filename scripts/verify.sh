@@ -168,6 +168,18 @@ if [ ! -f benchmarks/perf/BENCH_concurrent_serve.json ]; then
   exit 1
 fi
 
+echo "== bench: index-scale gates (smoke scale) =="
+# Gates: the ANN recall@10-vs-speedup frontier has a point at or above the
+# recall floor that clears the speedup floor, recall is monotone in
+# nprobe, and the quantized mmap path's dequantized working set stays a
+# small fraction of the flat float32 matrix.  Writes BENCH_index_scale.json.
+REPRO_BENCH_SMOKE=1 timeout --signal=INT 900 \
+  python -m pytest benchmarks/bench_index_scale.py -x -q
+if [ ! -f benchmarks/perf/BENCH_index_scale.json ]; then
+  echo "verify: FAIL — bench_index_scale did not write benchmarks/perf/BENCH_index_scale.json" >&2
+  exit 1
+fi
+
 echo "== examples: every examples/*.py must exit 0 under smoke settings =="
 for example in examples/*.py; do
   echo "-- $example"

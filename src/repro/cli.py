@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
     ib.add_argument("--shard-size", type=int, default=0, metavar="N",
                     help="write a sharded index directory with N entries "
                          "per shard instead of one monolithic .npz")
+    ib.add_argument("--codec", default="float32",
+                    choices=("float32", "int8", "fp16"),
+                    help="shard storage codec; int8/fp16 write raw "
+                         "memory-mapped .npy shards (needs --shard-size)")
+    ib.add_argument("--cells", type=int, default=0, metavar="K",
+                    help="train a K-cell coarse quantizer for mode=ann "
+                         "queries (needs --shard-size)")
     iq = ixsub.add_parser("query", help="rank indexed sources for a binary query")
     iq.add_argument("checkpoint")
     iq.add_argument("index", help=".npz index file or sharded index directory")
@@ -166,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     iq.add_argument("--variant", type=int, default=0)
     iq.add_argument("--seed", type=int, default=0)
     iq.add_argument("--top-k", type=int, default=5)
+    iq.add_argument("--mode", default="exact", choices=("exact", "ann"),
+                    help="ann prunes to the quantizer's best cells before "
+                         "exact rescoring (index must be built with --cells)")
+    iq.add_argument("--nprobe", type=int, default=8, metavar="P",
+                    help="cells probed per query in ann mode")
 
     c = sub.add_parser("corpus", help="build / inspect compiled corpora")
     csub = c.add_subparsers(dest="corpus_command", required=True)
@@ -208,6 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--queue-depth", type=int, default=64, metavar="N",
                     help="admitted-but-unanswered request bound; excess "
                          "load is shed with an 'overloaded' response")
+    sv.add_argument("--mode", default="exact", choices=("exact", "ann"),
+                    help="ann serves approximate top-k through the index's "
+                         "coarse quantizer (built with --cells); exact is "
+                         "the bit-parity reference")
+    sv.add_argument("--nprobe", type=int, default=8, metavar="P",
+                    help="cells probed per query in ann mode")
 
     ex = sub.add_parser("experiment", help="fingerprinted, cached training runs")
     exsub = ex.add_subparsers(dest="experiment_command", required=True)
@@ -258,6 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "clean embeddings) when it already exists")
     rb.add_argument("--json", default=None, metavar="PATH",
                     help="also write the robustness matrix as JSON")
+    rb.add_argument("--mode", default="exact", choices=("exact", "ann"),
+                    help="score every cell through the clean index's "
+                         "coarse quantizer instead of exactly (needs "
+                         "--index for the persisted quantizer)")
+    rb.add_argument("--nprobe", type=int, default=8, metavar="P",
+                    help="cells probed per query in ann mode")
+    rb.add_argument("--cells", type=int, default=0, metavar="K",
+                    help="quantizer cells to train when the clean index "
+                         "is built here (0 = sqrt of corpus size)")
 
     sub.add_parser("transforms", help="list registered code transforms")
     sub.add_parser("tasks", help="list available task templates")
@@ -381,6 +408,13 @@ def cmd_index_build(args) -> int:
     from repro.data.corpus import CorpusBuilder
     from repro.index import EmbeddingIndex, ShardedEmbeddingIndex
 
+    if (args.codec != "float32" or args.cells) and not args.shard_size:
+        print(
+            "error: --codec/--cells apply to sharded indexes only; "
+            "add --shard-size N",
+            file=sys.stderr,
+        )
+        return 2
     trainer = MatchTrainer.load(args.checkpoint)
     cfg = DataConfig(num_tasks=args.num_tasks, variants=args.variants, seed=args.seed)
     samples = CorpusBuilder(cfg).build(args.languages.split(","))
@@ -398,9 +432,18 @@ def cmd_index_build(args) -> int:
         # loudly instead of silently writing a monolithic file.  overwrite:
         # rebuilds replace the old shard set, like the monolithic path.
         sharded = ShardedEmbeddingIndex.from_index(
-            index, args.output, args.shard_size, overwrite=True
+            index,
+            args.output,
+            args.shard_size,
+            overwrite=True,
+            codec=args.codec,
+            cells=args.cells,
+            quantizer_seed=args.seed,
         )
-        written = f"{args.output} ({sharded.num_shards} shards)"
+        written = (
+            f"{args.output} ({sharded.num_shards} shards, codec={args.codec}"
+            + (f", {args.cells} cells)" if args.cells else ")")
+        )
     else:
         written = index.save(args.output)
     print(f"indexed {len(index)} source graphs in {time.time() - t0:.1f}s "
@@ -423,7 +466,9 @@ def cmd_index_query(args) -> int:
     views = compile_to_views(sf.text, sf.language, name=sf.identifier)
     print(f"query: {sf.identifier} ({len(views.binary_bytes)} byte binary, "
           f"{views.decompiled_graph.num_nodes} node decompiled graph)")
-    hits = index.topk(views.decompiled_graph, k=args.top_k)
+    hits = index.topk(
+        views.decompiled_graph, k=args.top_k, mode=args.mode, nprobe=args.nprobe
+    )
     for rank, hit in enumerate(hits, 1):
         label = hit.meta.get("id", hit.key[:12])
         marker = " *" if hit.meta.get("task") == args.task else ""
@@ -509,14 +554,20 @@ def cmd_serve(args) -> int:
     index = open_index(args.index, trainer)
     store = ArtifactStore(args.store) if args.store else None
     server = RetrievalServer(
-        trainer, index, batch_size=args.batch, default_k=args.top_k, store=store
+        trainer,
+        index,
+        batch_size=args.batch,
+        default_k=args.top_k,
+        store=store,
+        mode=args.mode,
+        nprobe=args.nprobe,
     )
     # Status goes to stderr: stdout is the JSON-lines response channel.
     shards = getattr(index, "num_shards", None)
     print(
         f"serving {len(index)} entries"
         + (f" across {shards} shards" if shards is not None else "")
-        + f" (batch={args.batch}, top-k={args.top_k})",
+        + f" (batch={args.batch}, top-k={args.top_k}, mode={args.mode})",
         file=sys.stderr,
     )
     stats = server.serve(sys.stdin, sys.stdout)
@@ -552,6 +603,8 @@ def _serve_socket(args) -> int:
         max_delay_ms=args.max_delay_ms,
         queue_depth=args.queue_depth,
         default_k=args.top_k,
+        mode=args.mode,
+        nprobe=args.nprobe,
         store_root=args.store,
     )
     if addr.startswith("unix:"):
@@ -576,7 +629,7 @@ def _serve_socket(args) -> int:
     print(
         f"serving on {shown} (workers={args.workers}, max-batch={args.batch}, "
         f"max-delay={args.max_delay_ms:g}ms, queue-depth={args.queue_depth}, "
-        f"top-k={args.top_k})",
+        f"top-k={args.top_k}, mode={args.mode})",
         file=sys.stderr,
         flush=True,
     )
@@ -678,6 +731,9 @@ def cmd_robustness(args) -> int:
         store=ArtifactStore(args.store) if args.store else None,
         index_root=args.index,
         transform_seed=args.transform_seed,
+        mode=args.mode,
+        nprobe=args.nprobe,
+        quantizer_cells=args.cells,
     )
     print(
         f"robustness: tasks={args.num_tasks} variants={args.variants} "

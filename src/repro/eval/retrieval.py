@@ -153,6 +153,8 @@ def evaluate_retrieval(
     batch_size: int = 64,
     index=None,
     candidate_keys: Optional[Sequence[str]] = None,
+    mode: str = "exact",
+    nprobe: int = 8,
 ) -> RetrievalResult:
     """Full retrieval sweep: every query ranked against all candidates.
 
@@ -179,7 +181,17 @@ def evaluate_retrieval(
     robustness harness scores the same candidates once per matrix cell —
     skip re-hashing every candidate graph per call; the index check below
     still runs against whatever keys are supplied.
+
+    ``mode="ann"`` (index-backed sweeps only) ranks through the index's
+    coarse quantizer, probing ``nprobe`` cells per query: unprobed
+    candidates score ``-inf`` and therefore rank behind every probed one
+    (stable order among themselves), which is exactly the pruning the
+    recall gates in ``benchmarks/bench_index_scale.py`` measure.
     """
+    if mode not in ("exact", "ann"):
+        raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+    if mode == "ann" and index is None:
+        raise ValueError("mode='ann' needs index= (a quantizer-trained sharded index)")
     cand_tasks = {c_task for _, c_task in candidates}
     kept = [q for q in queries if q[1] in cand_tasks]
     if index is not None:
@@ -216,7 +228,24 @@ def evaluate_retrieval(
                     "index was built by a different model than the scorer "
                     "(weight/tokenizer fingerprint mismatch)"
                 )
-        all_scores = index.scores_batch([g for g, _ in kept], batch_size=batch_size)
+        if mode == "ann":
+            hit_lists = index.topk_batch(
+                [g for g, _ in kept],
+                k=None,
+                batch_size=batch_size,
+                mode="ann",
+                nprobe=nprobe,
+            )
+            all_scores = np.full(
+                (len(kept), len(candidates)), -np.inf, dtype=np.float32
+            )
+            for row, hit_list in zip(all_scores, hit_lists):
+                for hit in hit_list:
+                    row[hit.index] = hit.score
+        else:
+            all_scores = index.scores_batch(
+                [g for g, _ in kept], batch_size=batch_size
+            )
         rankings = [
             _ranked(q_task, candidates, row)
             for (_, q_task), row in zip(kept, all_scores)

@@ -198,6 +198,13 @@ class RobustnessHarness:
         sweep instantiates.
     max_queries:
         Cap on the query set (0 = all query-language samples).
+    mode / nprobe / quantizer_cells:
+        ``mode="ann"`` scores every cell through the clean index's coarse
+        quantizer (probing ``nprobe`` cells per query) instead of the
+        exact sweep — requires ``index_root`` (the quantizer lives in the
+        persisted manifest).  ``quantizer_cells`` sets how many k-means
+        cells to train when the index is built here (0 = ``sqrt(C)``,
+        clamped to the corpus).
     """
 
     def __init__(
@@ -211,9 +218,19 @@ class RobustnessHarness:
         shard_size: int = 16,
         transform_seed: int = 0,
         max_queries: int = 0,
+        mode: str = "exact",
+        nprobe: int = 8,
+        quantizer_cells: int = 0,
     ):  # noqa: D107
         if trainer.model is None:
             raise ValueError("trainer has no trained model")
+        if mode not in ("exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+        if mode == "ann" and index_root is None:
+            raise ValueError(
+                "mode='ann' needs index_root= (the coarse quantizer is "
+                "persisted in the sharded index manifest)"
+            )
         self.trainer = trainer
         self.config = config
         self.source_languages = list(source_languages)
@@ -223,6 +240,9 @@ class RobustnessHarness:
         self.shard_size = shard_size
         self.transform_seed = transform_seed
         self.max_queries = max_queries
+        self.mode = mode
+        self.nprobe = nprobe
+        self.quantizer_cells = quantizer_cells
         self.builder = CorpusBuilder(config, store=store)
         # One pipeline for clean corpus builds and transformed-query
         # compiles alike: shared store, shared timer.
@@ -293,6 +313,7 @@ class RobustnessHarness:
             return self._index
         if self.index_root is not None and (self.index_root / MANIFEST_NAME).exists():
             self._index = ShardedEmbeddingIndex.open(self.index_root, self.trainer)
+            self._ensure_quantizer()
             return self._index
         index = EmbeddingIndex(self.trainer)
         index.add(
@@ -304,9 +325,24 @@ class RobustnessHarness:
                 index, self.index_root, self.shard_size, overwrite=True
             )
             self._index = ShardedEmbeddingIndex.open(self.index_root, self.trainer)
+            self._ensure_quantizer()
         else:
             self._index = index
         return self._index
+
+    def _ensure_quantizer(self) -> None:
+        """In ann mode, make sure the opened index carries a quantizer.
+
+        A persisted index built by an exact-mode run lacks one; training
+        it here (and rewriting the manifest) upgrades the cache in place,
+        so warm exact runs and later ann runs share one clean index.
+        """
+        if self.mode != "ann" or self._index.quantizer is not None:
+            return
+        cells = self.quantizer_cells
+        if cells <= 0:
+            cells = max(1, int(round(len(self._index) ** 0.5)))
+        self._index.train_quantizer(min(cells, len(self._index)))
 
     # ------------------------------------------------------------ queries
     def transformed_queries(
@@ -368,6 +404,7 @@ class RobustnessHarness:
         clean = evaluate_retrieval(
             None, self.clean_queries(), self.candidates, ks=ks, index=index,
             candidate_keys=self.candidate_keys,
+            mode=self.mode, nprobe=self.nprobe,
         )
         report.cells.append(RobustnessCell(CLEAN, 0.0, clean))
         seen = set()
@@ -383,6 +420,7 @@ class RobustnessHarness:
                 result = evaluate_retrieval(
                     None, queries, self.candidates, ks=ks, index=index,
                     candidate_keys=self.candidate_keys,
+                    mode=self.mode, nprobe=self.nprobe,
                 )
                 report.cells.append(
                     RobustnessCell(chain, float(intensity), result, spec=canonical)

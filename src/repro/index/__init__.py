@@ -9,11 +9,20 @@ from repro.index.embedding_index import (
     score_pairs_tiled,
     validate_k,
 )
-from repro.index.sharded import ShardedEmbeddingIndex, open_index
+from repro.index.quantizer import CoarseQuantizer
+from repro.index.sharded import (
+    CODECS,
+    INDEX_FORMAT_VERSION,
+    ShardedEmbeddingIndex,
+    open_index,
+)
 
 __all__ = [
+    "CODECS",
+    "CoarseQuantizer",
     "EmbeddingIndex",
     "Hit",
+    "INDEX_FORMAT_VERSION",
     "ShardedEmbeddingIndex",
     "graph_fingerprint",
     "model_fingerprint",

@@ -135,6 +135,19 @@ class Hit:
     key: str = ""
 
 
+def _require_exact(mode: str) -> None:
+    """Shared mode guard for the monolithic (exact-only) index."""
+    if mode == "exact":
+        return
+    if mode == "ann":
+        raise ValueError(
+            "the monolithic EmbeddingIndex only supports mode='exact'; "
+            "build a sharded index with a coarse quantizer "
+            "(`repro index build --shard-size N --cells K`) for ANN queries"
+        )
+    raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+
+
 def validate_k(k: Optional[int]) -> None:
     """Reject non-positive ``k`` loudly.
 
@@ -179,9 +192,14 @@ def ranked_hits(
 
     The one ranking implementation shared by :class:`EmbeddingIndex` and
     :class:`~repro.index.sharded.ShardedEmbeddingIndex`, so the two always
-    break ties identically (stable argsort by entry position).
+    break ties identically: descending score, then ascending entry key,
+    then entry position (``lexsort`` is stable).  Keying the tie-break on
+    content hashes — not positions alone — is what lets exact-vs-ANN
+    recall gates and cross-process parity checks survive equal scores,
+    where position order would depend on shard layout.
     """
-    order = np.argsort(-scores, kind="stable")
+    # lexsort sorts by the *last* key first: -scores primary, keys secondary.
+    order = np.lexsort((np.asarray(keys), -scores))
     if k is not None:
         order = order[:k]
     return [
@@ -436,9 +454,16 @@ class EmbeddingIndex:
         k: Optional[int] = None,
         *,
         embedding: Optional[np.ndarray] = None,
+        mode: str = "exact",
+        nprobe: Optional[int] = None,
     ) -> List[Hit]:
-        """Top-k entries by descending score (all entries when k is None)."""
+        """Top-k entries by descending score (all entries when k is None).
+
+        ``mode``/``nprobe`` exist for signature parity with the sharded
+        index; the monolithic index is exact-only.
+        """
         validate_k(k)
+        _require_exact(mode)
         scores = self.scores(graph, embedding=embedding)
         return ranked_hits(scores, self._keys, self._metas, k)
 
@@ -449,6 +474,8 @@ class EmbeddingIndex:
         *,
         embeddings: Optional[np.ndarray] = None,
         batch_size: int = 32,
+        mode: str = "exact",
+        nprobe: Optional[int] = None,
     ) -> List[List[Hit]]:
         """Per-query top-k hit lists for Q queries in one batched pass.
 
@@ -457,6 +484,7 @@ class EmbeddingIndex:
         and one tiled pair-head pass instead of Q of each.
         """
         validate_k(k)
+        _require_exact(mode)
         scores = self.scores_batch(graphs, embeddings=embeddings, batch_size=batch_size)
         return [ranked_hits(row, self._keys, self._metas, k) for row in scores]
 
@@ -500,7 +528,9 @@ class EmbeddingIndex:
             if _META_KEY not in archive.files or "embeddings" not in archive.files:
                 raise ValueError(f"{path} is not an EmbeddingIndex archive")
             meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-            embeddings = archive["embeddings"].astype(np.float32)
+            # copy=False: the archive already hands us a fresh float32
+            # array; an unconditional astype would duplicate every shard.
+            embeddings = archive["embeddings"].astype(np.float32, copy=False)
         # A GraphBinMatch checkpoint also carries JSON metadata; reject it
         # (and any other stray archive) by the index schema, not a KeyError.
         if not {"keys", "metas", "dim", "pair_features"} <= meta.keys():

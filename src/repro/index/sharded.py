@@ -1,4 +1,4 @@
-"""Sharded embedding index: a corpus split across lazily-loaded ``.npz`` shards.
+"""Sharded embedding index: a corpus split across lazily-loaded shards.
 
 :class:`~repro.index.embedding_index.EmbeddingIndex` keeps one monolithic
 archive fully resident, which is the right shape for a benchmark run and
@@ -9,24 +9,37 @@ process should not pay to materialize embeddings it never scores.
 :class:`ShardedEmbeddingIndex` is a directory::
 
     index_dir/
-      manifest.json     # schema + model fingerprint + per-shard entry counts
-      shard-0000.npz    # each shard is a plain EmbeddingIndex archive
+      manifest.json          # schema + model fingerprint + codec + quantizer
+      shard-0000.npz         # float32 codec: plain EmbeddingIndex archives
       shard-0001.npz
       ...
+    index_dir/               # quantized codecs (int8 / fp16)
+      manifest.json
+      shard-0000.npy         # raw array, opened with np.load(mmap_mode="r")
+      shard-0000.meta.json   # keys, metas, model fingerprint, int8 scale
+      shard-0000.cells.npy   # coarse-quantizer cell ids (when trained)
+      ...
 
-* the manifest is fingerprint-validated against the trainer exactly like a
-  monolithic archive (same weight/tokenizer hash, same dim/pair_features
-  checks), and every shard re-checks its own recorded fingerprint against
-  the manifest when it is first touched;
-* shards load lazily — :meth:`open` reads only the manifest, and a query
-  materializes just the shards it scores (all of them for a whole-corpus
-  query, a subset via ``shards=``);
-* :meth:`add_shard` appends a new shard (from graphs, or from a prebuilt
-  :class:`EmbeddingIndex`) and :meth:`merge` absorbs another sharded
-  index's shards, both without rewriting existing shard files;
-* scoring concatenates shard matrices in shard order and runs the exact
-  same tiled pair-head pass as the monolithic index, so an index sharded
-  with :meth:`from_index` returns **bit-identical** scores and rankings.
+Two scoring regimes share the directory layout:
+
+* **exact** (the reference) — every entry is scored by the pair head.
+  The float32 codec keeps the original flat-matrix hot path, so an index
+  sharded with :meth:`from_index` returns **bit-identical** scores and
+  rankings to the monolithic index it came from.  Quantized codecs score
+  block-by-block straight off the memory map, fanned out across shards on
+  a thread pool, so resident memory is bounded by the scoring blocks —
+  not the corpus.
+* **ann** — a :class:`~repro.index.quantizer.CoarseQuantizer` persisted
+  in the manifest assigns every entry to a cell; a query ranks the cell
+  centroids with the *pair head* (so pruning agrees with the scorer),
+  rescores only the entries in its ``nprobe`` best cells, and merges the
+  per-shard partial top-k lists with a heap.  Recall against the exact
+  path is gated by ``benchmarks/bench_index_scale.py``.
+
+Format history: v1 manifests (``sharded-embedding-index-v1``, float32
+``.npz`` shards only) are still readable; ``INDEX_FORMAT_VERSION`` 2 adds
+the ``codec`` and ``quantizer`` manifest fields and the raw-``.npy``
+quantized shard layout.
 
 Entry positions are global: ``Hit.index`` counts across shards in manifest
 order, matching the monolithic index the shards came from.
@@ -34,9 +47,13 @@ order, matching the monolithic index the shards came from.
 
 from __future__ import annotations
 
+import heapq
 import json
+import numbers
 import os
 import shutil
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -54,29 +71,103 @@ from repro.index.embedding_index import (
     score_pairs_tiled,
     validate_k,
 )
+from repro.index.quantizer import CoarseQuantizer
+from repro.nn.tensor import no_grad
+from repro.utils.rng import derive_rng
 
 PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
-_FORMAT = "sharded-embedding-index-v1"
+INDEX_FORMAT_VERSION = 2
+_FORMAT_V1 = "sharded-embedding-index-v1"
+_FORMAT = "sharded-embedding-index-v2"
+
+#: Shard storage codecs: how embedding rows live on disk.
+CODECS = ("float32", "int8", "fp16")
+
+_SHARD_GLOB = "shard-*"
+
+#: Rows dequantized per scoring block on the streamed exact path.
+_SCORE_BLOCK_ROWS = 4096
 
 
-_SHARD_GLOB = "shard-*.npz"
+def _shard_name(position: int, codec: str = "float32") -> str:
+    ext = "npz" if codec == "float32" else "npy"
+    return f"shard-{position:04d}.{ext}"
 
 
-def _shard_name(position: int) -> str:
-    return f"shard-{position:04d}.npz"
+def _meta_name(position: int) -> str:
+    return f"shard-{position:04d}.meta.json"
+
+
+def _cells_name(position: int) -> str:
+    return f"shard-{position:04d}.cells.npy"
+
+
+def _quantize(matrix: np.ndarray, codec: str) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Encode float32 rows for storage; returns ``(raw, int8 scale or None)``."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.float32))
+    if codec == "fp16":
+        return matrix.astype(np.float16), None
+    if codec != "int8":
+        raise ValueError(f"unknown codec {codec!r} (expected one of {CODECS})")
+    # Symmetric per-dimension scale: the widest magnitude in each column
+    # maps to ±127, zero-only columns get scale 1 so dequantization is a
+    # plain multiply with no special cases.
+    if matrix.shape[0]:
+        scale = (np.abs(matrix).max(axis=0) / 127.0).astype(np.float32)
+    else:
+        scale = np.zeros(matrix.shape[1], dtype=np.float32)
+    scale[scale == 0.0] = 1.0
+    raw = np.clip(np.rint(matrix / scale), -127, 127).astype(np.int8)
+    return raw, scale
+
+
+def _dequantize(raw: np.ndarray, codec: str, scale: Optional[np.ndarray]) -> np.ndarray:
+    """Decode stored rows back to a float32 ndarray (materializes mmap pages)."""
+    if codec == "float32":
+        return np.asarray(raw)
+    if codec == "int8":
+        return raw.astype(np.float32) * scale
+    return np.asarray(raw, dtype=np.float32)
 
 
 class _Shard:
-    """One resident shard: aligned keys, metas and embedding rows."""
+    """One resident shard: aligned keys, metas and (possibly raw) rows."""
 
-    __slots__ = ("keys", "metas", "embeddings")
+    __slots__ = ("keys", "metas", "embeddings", "codec", "scale", "cells")
 
-    def __init__(self, keys: List[str], metas: List[dict], embeddings: np.ndarray):
+    def __init__(
+        self,
+        keys: List[str],
+        metas: List[dict],
+        embeddings: np.ndarray,
+        codec: str = "float32",
+        scale: Optional[np.ndarray] = None,
+        cells: Optional[np.ndarray] = None,
+    ):
         self.keys = keys
         self.metas = metas
-        self.embeddings = embeddings
+        self.embeddings = embeddings  # float32 matrix, or raw int8/fp16 (mmap)
+        self.codec = codec
+        self.scale = scale
+        self.cells = cells
+
+    @property
+    def n(self) -> int:
+        return len(self.keys)
+
+    def dense(self) -> np.ndarray:
+        """All rows as float32 (dequantizes the whole shard)."""
+        return _dequantize(self.embeddings, self.codec, self.scale)
+
+    def block(self, start: int, stop: int) -> np.ndarray:
+        """Rows ``[start, stop)`` as float32."""
+        return _dequantize(self.embeddings[start:stop], self.codec, self.scale)
+
+    def rows(self, idx: np.ndarray) -> np.ndarray:
+        """The selected rows as float32 (fancy indexing copies)."""
+        return _dequantize(self.embeddings[idx], self.codec, self.scale)
 
 
 class ShardedEmbeddingIndex:
@@ -89,10 +180,41 @@ class ShardedEmbeddingIndex:
         self.root = Path(root)
         self.dim = 2 * trainer.config.hidden_dim
         self._manifest = manifest
+        self.codec = manifest.get("codec", "float32")
+        if self.codec not in CODECS:
+            raise ValueError(
+                f"manifest codec {self.codec!r} is not one of {CODECS}"
+            )
+        payload = manifest.get("quantizer")
+        self.quantizer: Optional[CoarseQuantizer] = (
+            CoarseQuantizer.from_manifest(payload) if payload else None
+        )
+        if self.quantizer is not None and self.quantizer.dim != self.dim:
+            raise ValueError(
+                f"manifest quantizer has dim {self.quantizer.dim}, index has {self.dim}"
+            )
         self._shards: List[Optional[_Shard]] = [None] * len(manifest["shards"])
         # Whole-corpus gather cache (matrix, keys, metas) — rebuilt after
         # add_shard/merge so queries pay the flattening once, not per call.
+        # Float32 codec only: quantized codecs never flatten the corpus.
         self._flat: Optional[Tuple[np.ndarray, List[str], List[dict]]] = None
+        self._meta_flat: Optional[Tuple[List[str], List[dict]]] = None
+        self._load_lock = threading.Lock()
+        # Shard fan-out: exact streaming and ANN probing dispatch per-shard
+        # work on a thread pool (numpy releases the GIL in the pair head's
+        # matmuls).  Overridable per instance or via REPRO_INDEX_THREADS.
+        env_threads = os.environ.get("REPRO_INDEX_THREADS")
+        self.fanout_threads = (
+            max(1, int(env_threads)) if env_threads else min(8, os.cpu_count() or 1)
+        )
+        self.score_block_rows = _SCORE_BLOCK_ROWS
+        # Working-set accounting for the streamed paths: the peak number of
+        # concurrently-held dequantized bytes, and the largest single block.
+        # bench_index_scale asserts these stay far below the flat matrix.
+        self._dequant_lock = threading.Lock()
+        self._dequant_now = 0
+        self.last_peak_dequant_bytes = 0
+        self.last_peak_block_bytes = 0
         # Query embeddings are cached exactly like the monolithic index's:
         # an entry-less EmbeddingIndex is that cache (embed_query /
         # embed_queries, bounded LRU, duplicate batching) verbatim.
@@ -106,13 +228,18 @@ class ShardedEmbeddingIndex:
         root: PathLike,
         tag: Optional[str] = None,
         overwrite: bool = False,
+        codec: str = "float32",
     ) -> "ShardedEmbeddingIndex":
         """Start an empty sharded index at ``root`` (created if missing).
 
-        An existing sharded index at ``root`` is an error unless
-        ``overwrite`` is set, in which case its manifest and shard files
-        (and nothing else) are removed first.
+        ``codec`` fixes the storage format for every shard: ``float32``
+        (the exact, bit-parity ``.npz`` layout), or ``int8`` / ``fp16``
+        (raw memory-mapped ``.npy`` shards).  An existing sharded index at
+        ``root`` is an error unless ``overwrite`` is set, in which case
+        its manifest and shard files (and nothing else) are removed first.
         """
+        if codec not in CODECS:
+            raise ValueError(f"unknown codec {codec!r} (expected one of {CODECS})")
         root = Path(root)
         root.mkdir(parents=True, exist_ok=True)
         if (root / MANIFEST_NAME).exists():
@@ -126,6 +253,9 @@ class ShardedEmbeddingIndex:
             root,
             {
                 "format": _FORMAT,
+                "format_version": INDEX_FORMAT_VERSION,
+                "codec": codec,
+                "quantizer": None,
                 "dim": 2 * trainer.config.hidden_dim,
                 "pair_features": trainer.config.pair_features,
                 "model_sha": model_fingerprint(trainer),
@@ -141,15 +271,25 @@ class ShardedEmbeddingIndex:
         """Open an existing sharded index, validating it against ``trainer``.
 
         Only the manifest is read; shard arrays stay on disk until a query
-        touches them.
+        touches them (quantized shards are memory-mapped even then).
+        Legacy v1 manifests open as ``codec="float32"`` with no quantizer;
+        the file on disk is not rewritten unless the index is mutated.
         """
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.exists():
             raise ValueError(f"{root} is not a sharded index (no {MANIFEST_NAME})")
         manifest = json.loads(manifest_path.read_text())
-        if manifest.get("format") != _FORMAT:
-            raise ValueError(f"{manifest_path} is not a sharded index manifest")
+        fmt = manifest.get("format")
+        if fmt == _FORMAT_V1:
+            manifest.setdefault("format_version", 1)
+            manifest.setdefault("codec", "float32")
+            manifest.setdefault("quantizer", None)
+        elif fmt != _FORMAT:
+            raise ValueError(
+                f"{manifest_path} is not a sharded index manifest this build "
+                f"reads (format {fmt!r}; supported: {_FORMAT_V1}, {_FORMAT})"
+            )
         index = cls(trainer, root, manifest)
         if (
             manifest["dim"] != index.dim
@@ -175,12 +315,20 @@ class ShardedEmbeddingIndex:
         shard_entries: int,
         tag: Optional[str] = None,
         overwrite: bool = False,
+        codec: str = "float32",
+        cells: int = 0,
+        quantizer_seed: int = 0,
     ) -> "ShardedEmbeddingIndex":
         """Shard a monolithic index into ``shard_entries``-sized pieces.
 
-        Embeddings are copied, never re-encoded, so the sharded index
-        scores bit-identically to ``index``.  ``overwrite`` replaces an
-        existing sharded index at ``root`` (see :meth:`create`).
+        With the default float32 codec, embeddings are copied, never
+        re-encoded, so the sharded index scores bit-identically to
+        ``index``.  Quantized codecs (``int8``/``fp16``) trade that bit
+        parity for memory-mapped storage.  ``cells > 0`` additionally
+        trains a coarse quantizer over the corpus (see
+        :meth:`train_quantizer`), enabling ``mode="ann"`` queries.
+        ``overwrite`` replaces an existing sharded index at ``root``
+        (see :meth:`create`).
         """
         if shard_entries < 1:
             raise ValueError(f"shard_entries must be >= 1, got {shard_entries}")
@@ -189,6 +337,7 @@ class ShardedEmbeddingIndex:
             root,
             tag=tag if tag is not None else index.tag,
             overwrite=overwrite,
+            codec=codec,
         )
         keys, metas, matrix = index._keys, index._metas, index.embeddings
         for start in range(0, len(keys), shard_entries):
@@ -196,6 +345,8 @@ class ShardedEmbeddingIndex:
             piece = EmbeddingIndex(index.trainer)
             piece.add_precomputed(keys[start:stop], matrix[start:stop], metas[start:stop])
             sharded.add_shard(index=piece)
+        if cells > 0:
+            sharded.train_quantizer(cells, seed=quantizer_seed)
         return sharded
 
     # ------------------------------------------------------------- sizing
@@ -229,14 +380,52 @@ class ShardedEmbeddingIndex:
         tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
         os.replace(tmp, self.root / MANIFEST_NAME)
 
+    def _save_array(self, name: str, arr: np.ndarray) -> None:
+        tmp = self.root / (name + ".tmp")
+        with open(tmp, "wb") as fh:
+            np.save(fh, np.ascontiguousarray(arr))
+        os.replace(tmp, self.root / name)
+
     def _load_shard(self, position: int) -> _Shard:
         entry = self._manifest["shards"][position]
         path = self.root / entry["file"]
-        with np.load(path) as archive:
-            if _META_KEY not in archive.files or "embeddings" not in archive.files:
-                raise ValueError(f"{path} is not an EmbeddingIndex archive")
-            meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-            embeddings = archive["embeddings"].astype(np.float32)
+        scale = None
+        if self.codec == "float32":
+            with np.load(path) as archive:
+                if _META_KEY not in archive.files or "embeddings" not in archive.files:
+                    raise ValueError(f"{path} is not an EmbeddingIndex archive")
+                meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+                embeddings = archive["embeddings"].astype(np.float32, copy=False)
+        else:
+            # Raw quantized rows stay on disk: np.load returns a read-only
+            # memory map, and scoring dequantizes bounded blocks of it.
+            try:
+                embeddings = np.load(path, mmap_mode="r", allow_pickle=False)
+            except Exception as exc:
+                raise ValueError(
+                    f"{path} is corrupt or truncated ({exc}); rebuild the shard"
+                ) from exc
+            meta_path = self.root / entry["meta"]
+            try:
+                meta = json.loads(meta_path.read_text())
+            except (OSError, ValueError) as exc:
+                raise ValueError(
+                    f"{meta_path} is corrupt or missing ({exc}); the shard "
+                    "sidecar and array must travel together"
+                ) from exc
+            want_dtype = np.int8 if self.codec == "int8" else np.float16
+            if embeddings.dtype != want_dtype:
+                raise ValueError(
+                    f"{path} is corrupt: dtype {embeddings.dtype} for "
+                    f"codec {self.codec!r} (expected {np.dtype(want_dtype)})"
+                )
+            if self.codec == "int8":
+                scale = np.asarray(meta.get("scale"), dtype=np.float32)
+                if scale.shape != (self._manifest["dim"],):
+                    raise ValueError(
+                        f"{meta_path} is corrupt: int8 scale has shape "
+                        f"{scale.shape}, expected ({self._manifest['dim']},)"
+                    )
         if meta.get("model_sha") != self._manifest["model_sha"]:
             raise ValueError(
                 f"{path} was built by a different model than this index's "
@@ -247,21 +436,60 @@ class ShardedEmbeddingIndex:
                 f"{path} is corrupt: {embeddings.shape} embeddings for "
                 f"{entry['entries']} manifest entries of dim {self._manifest['dim']}"
             )
-        return _Shard(list(meta["keys"]), [dict(m) for m in meta["metas"]], embeddings)
+        cells = None
+        if entry.get("cells"):
+            cells_path = self.root / entry["cells"]
+            try:
+                cells = np.load(cells_path, allow_pickle=False)
+            except Exception as exc:
+                raise ValueError(
+                    f"{cells_path} is corrupt or truncated ({exc}); re-run "
+                    "train_quantizer() to regenerate cell assignments"
+                ) from exc
+            if cells.shape != (entry["entries"],):
+                raise ValueError(
+                    f"{cells_path} is corrupt: {cells.shape} cell ids for "
+                    f"{entry['entries']} manifest entries"
+                )
+            cells = np.asarray(cells).astype(np.int32, copy=False)
+        return _Shard(
+            list(meta["keys"]),
+            [dict(m) for m in meta["metas"]],
+            embeddings,
+            codec=self.codec,
+            scale=scale,
+            cells=cells,
+        )
 
     def _ensure(self, position: int) -> _Shard:
-        if self._shards[position] is None:
-            self._shards[position] = self._load_shard(position)
-        return self._shards[position]
+        # Double-checked under a lock: the fan-out threads may race to
+        # materialize the same shard.
+        shard = self._shards[position]
+        if shard is None:
+            with self._load_lock:
+                shard = self._shards[position]
+                if shard is None:
+                    shard = self._load_shard(position)
+                    self._shards[position] = shard
+        return shard
 
     def _resolve_shards(self, shards: Optional[Sequence[int]]) -> List[int]:
         if shards is None:
             return list(range(self.num_shards))
-        out = []
+        out: List[int] = []
+        seen = set()
         for s in shards:
             if not 0 <= s < self.num_shards:
                 raise ValueError(f"no shard {s} (index has {self.num_shards})")
-            out.append(int(s))
+            s = int(s)
+            if s in seen:
+                raise ValueError(
+                    f"duplicate shard {s} in shards=; each shard may be "
+                    "selected at most once (duplicates would duplicate "
+                    "candidate rows and top-k hits)"
+                )
+            seen.add(s)
+            out.append(s)
         return out
 
     def _gather(
@@ -269,8 +497,10 @@ class ShardedEmbeddingIndex:
     ) -> Tuple[np.ndarray, List[str], List[dict]]:
         """Concatenated (embeddings, keys, metas) over the selected shards.
 
-        The whole-corpus case (``shards=None`` — the serving hot path) is
-        cached until the shard set changes.
+        Float32 codec only — the exact hot path whose flat matmul keeps
+        bit parity with the monolithic index.  The whole-corpus case
+        (``shards=None`` — the serving hot path) is cached until the
+        shard set changes.
         """
         if shards is None and self._flat is not None:
             return self._flat
@@ -295,6 +525,21 @@ class ShardedEmbeddingIndex:
             self._flat = gathered
         return gathered
 
+    def _meta_gather(
+        self, shards: Optional[Sequence[int]]
+    ) -> Tuple[List[str], List[dict], List[int]]:
+        """Concatenated (keys, metas) plus resolved positions — no dequant."""
+        positions = self._resolve_shards(shards)
+        if shards is None and self._meta_flat is not None:
+            keys, metas = self._meta_flat
+            return keys, metas, positions
+        loaded = [self._ensure(p) for p in positions]
+        keys = [k for s in loaded for k in s.keys]
+        metas = [m for s in loaded for m in s.metas]
+        if shards is None:
+            self._meta_flat = (keys, metas)
+        return keys, metas, positions
+
     # ------------------------------------------------------------ growing
     def add_shard(
         self,
@@ -308,7 +553,9 @@ class ShardedEmbeddingIndex:
 
         Pass either ``graphs`` (encoded here, through the shared query
         cache so duplicates of already-seen graphs skip the encoder) or a
-        prebuilt ``index`` whose embeddings are written as-is.
+        prebuilt ``index`` whose embeddings are written in this index's
+        codec.  If a coarse quantizer is trained, the new shard's cell
+        assignments are computed and persisted alongside it.
         """
         if (graphs is None) == (index is None):
             raise ValueError("pass exactly one of graphs / index")
@@ -336,20 +583,56 @@ class ShardedEmbeddingIndex:
             )
         if index.dim != self.dim:
             raise ValueError(f"shard has dim {index.dim}, index has {self.dim}")
-        name = _shard_name(self.num_shards)
-        index.save(self.root / name)
-        self._manifest["shards"].append({"file": name, "entries": len(index)})
+        position = self.num_shards
+        name = _shard_name(position, self.codec)
+        entry: Dict[str, object] = {"file": name, "entries": len(index)}
+        shard_keys = list(index._keys)
+        shard_metas = [dict(m) for m in index._metas]
+        scale = None
+        if self.codec == "float32":
+            index.save(self.root / name)
+            store = index.embeddings.copy()
+        else:
+            store, scale = _quantize(index.embeddings, self.codec)
+            self._save_array(name, store)
+            meta_name = _meta_name(position)
+            sidecar = {
+                "keys": shard_keys,
+                "metas": shard_metas,
+                "model_sha": self._manifest["model_sha"],
+            }
+            if scale is not None:
+                sidecar["scale"] = [float(v) for v in scale]
+            tmp = self.root / (meta_name + ".tmp")
+            tmp.write_text(json.dumps(sidecar))
+            os.replace(tmp, self.root / meta_name)
+            entry["meta"] = meta_name
+        resident = _Shard(shard_keys, shard_metas, store, codec=self.codec, scale=scale)
+        if self.quantizer is not None:
+            cells = self.quantizer.assign(resident.dense())
+            cells_name = _cells_name(position)
+            self._save_array(cells_name, cells)
+            entry["cells"] = cells_name
+            resident.cells = cells
+        self._manifest["shards"].append(entry)
         self._write_manifest()
-        resident = _Shard(
-            list(index._keys), [dict(m) for m in index._metas], index.embeddings.copy()
-        )
         self._shards.append(resident)
-        self._encoder.seed_embedding_cache(resident.keys, resident.embeddings)
+        if self.codec == "float32":
+            # Quantized rows are lossy: seeding the query-encoder cache
+            # with them would poison query-side exactness, so only the
+            # float32 codec registers entry embeddings as known queries.
+            self._encoder.seed_embedding_cache(resident.keys, resident.embeddings)
         self._flat = None
+        self._meta_flat = None
         return name
 
     def merge(self, other: "ShardedEmbeddingIndex") -> None:
-        """Absorb every shard of ``other`` (copied, renumbered) into self."""
+        """Absorb every shard of ``other`` (copied, renumbered) into self.
+
+        Both indexes must use the same codec.  When self has a trained
+        quantizer, the absorbed entries are assigned to *self's* cells
+        (other's assignments, if any, belong to different centroids).
+        """
         if other is self or other.root.resolve() == self.root.resolve():
             raise ValueError("cannot merge a sharded index into itself")
         if other._manifest["model_sha"] != self._manifest["model_sha"]:
@@ -361,29 +644,199 @@ class ShardedEmbeddingIndex:
             other._manifest["pair_features"] != self._manifest["pair_features"]
         ):
             raise ValueError("cannot merge: embedding shapes differ")
+        if other.codec != self.codec:
+            raise ValueError(
+                f"cannot merge: codecs differ ({other.codec!r} into {self.codec!r})"
+            )
         for position, entry in enumerate(list(other._manifest["shards"])):
-            name = _shard_name(self.num_shards)
+            new_position = self.num_shards
+            name = _shard_name(new_position, self.codec)
             shutil.copyfile(other.root / entry["file"], self.root / name)
-            self._manifest["shards"].append({"file": name, "entries": entry["entries"]})
-            self._shards.append(other._shards[position])
+            new_entry: Dict[str, object] = {"file": name, "entries": entry["entries"]}
+            if self.codec != "float32":
+                meta_name = _meta_name(new_position)
+                shutil.copyfile(other.root / entry["meta"], self.root / meta_name)
+                new_entry["meta"] = meta_name
+            resident = other._shards[position]
+            if self.quantizer is not None:
+                source = resident if resident is not None else other._ensure(position)
+                cells = self.quantizer.assign(source.dense())
+                cells_name = _cells_name(new_position)
+                self._save_array(cells_name, cells)
+                new_entry["cells"] = cells_name
+                resident = _Shard(
+                    source.keys,
+                    source.metas,
+                    source.embeddings,
+                    codec=self.codec,
+                    scale=source.scale,
+                    cells=cells,
+                )
+            self._manifest["shards"].append(new_entry)
+            self._shards.append(resident)
         self._write_manifest()
         self._flat = None
+        self._meta_flat = None
+
+    # ---------------------------------------------------------- quantizer
+    def train_quantizer(
+        self,
+        num_cells: int,
+        seed: int = 0,
+        iters: int = 8,
+        max_train_rows: int = 16384,
+    ) -> CoarseQuantizer:
+        """Fit a coarse quantizer over the corpus and persist it.
+
+        Centroids are fitted on at most ``max_train_rows`` rows — a
+        seeded uniform subsample at corpus scale, never a stride: strided
+        sampling silently drops whole clusters whenever the corpus layout
+        is periodic (round-robin ingestion, interleaved sources), which
+        guts recall for every query landing in an unsampled cluster.
+        Then **every** entry is assigned exactly; per-shard cell ids are
+        written next to the shard files and the centroids go into the
+        manifest, so a reopened index probes bit-identical cells.
+        Enables ``mode="ann"`` on :meth:`topk` / :meth:`topk_batch`.
+        """
+        total = len(self)
+        if total == 0:
+            raise ValueError("cannot train a quantizer on an empty index")
+        if max_train_rows < 1:
+            raise ValueError(f"max_train_rows must be >= 1, got {max_train_rows}")
+        positions = list(range(self.num_shards))
+        loaded = [self._ensure(p) for p in positions]
+        if total > max_train_rows:
+            rng = derive_rng(seed, "quantizer-train-sample", total, max_train_rows)
+            chosen = np.sort(rng.choice(total, size=max_train_rows, replace=False))
+        else:
+            chosen = np.arange(total)
+        sample: List[np.ndarray] = []
+        offset = 0
+        for shard in loaded:
+            lo, hi = np.searchsorted(chosen, (offset, offset + shard.n))
+            keep = chosen[lo:hi] - offset
+            if keep.size:
+                sample.append(shard.rows(keep))
+            offset += shard.n
+        quantizer = CoarseQuantizer.fit(
+            np.concatenate(sample, axis=0), num_cells, seed=seed, iters=iters
+        )
+        for position, shard in zip(positions, loaded):
+            cells = quantizer.assign(shard.dense())
+            cells_name = _cells_name(position)
+            self._save_array(cells_name, cells)
+            self._manifest["shards"][position]["cells"] = cells_name
+            shard.cells = cells
+        payload = quantizer.to_manifest()
+        payload["seed"] = int(seed)
+        payload["iters"] = int(iters)
+        self._manifest["quantizer"] = payload
+        self.quantizer = quantizer
+        self._write_manifest()
+        return quantizer
 
     # ------------------------------------------------------------ queries
     @property
     def embeddings(self) -> np.ndarray:
-        """All entry embeddings ``(C, 2H)`` in global order (loads all)."""
-        return self._gather(None)[0]
+        """All entry embeddings ``(C, 2H)`` in global order.
+
+        Float32 codec: the cached flat matrix (loads all shards).
+        Quantized codecs: a fresh dequantized copy — a debugging /
+        validation accessor, deliberately uncached so the scoring paths
+        never depend on a corpus-sized float32 matrix existing.
+        """
+        if self.codec == "float32":
+            return self._gather(None)[0]
+        loaded = [self._ensure(p) for p in range(self.num_shards)]
+        if not loaded:
+            return np.zeros((0, self.dim), dtype=np.float32)
+        return np.concatenate([s.dense() for s in loaded], axis=0)
 
     @property
     def keys(self) -> List[str]:
-        """All entry keys in global order (loads all shards)."""
-        return self._gather(None)[1]
+        """All entry keys in global order (loads shard metadata)."""
+        if self.codec == "float32":
+            return self._gather(None)[1]
+        return self._meta_gather(None)[0]
 
     @property
     def metas(self) -> List[dict]:
-        """Per-entry metadata copies in global order (loads all shards)."""
-        return [dict(m) for m in self._gather(None)[2]]
+        """Per-entry metadata copies in global order (loads shard metadata)."""
+        if self.codec == "float32":
+            return [dict(m) for m in self._gather(None)[2]]
+        return [dict(m) for m in self._meta_gather(None)[1]]
+
+    # ----------------------------------------------------------- fan-out
+    def _run_fanout(self, fn, count: int) -> None:
+        """Run ``fn(i)`` for each shard slot, threaded when it pays.
+
+        The dispatching thread holds ``no_grad()`` around the pool:
+        the grad flag is a module global, so the workers' nested
+        ``no_grad`` blocks save and restore an already-False flag — safe
+        under any interleaving — and the flag is only restored after
+        every worker has joined.
+        """
+        if count == 0:
+            return
+        workers = min(self.fanout_threads, count)
+        if workers <= 1:
+            for i in range(count):
+                fn(i)
+            return
+        with no_grad():
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="index-fanout"
+            ) as pool:
+                futures = [pool.submit(fn, i) for i in range(count)]
+                for future in futures:
+                    future.result()
+
+    def _dequant_reset(self) -> None:
+        with self._dequant_lock:
+            self._dequant_now = 0
+            self.last_peak_dequant_bytes = 0
+            self.last_peak_block_bytes = 0
+
+    def _dequant_start(self, nbytes: int) -> None:
+        with self._dequant_lock:
+            self._dequant_now += nbytes
+            self.last_peak_dequant_bytes = max(
+                self.last_peak_dequant_bytes, self._dequant_now
+            )
+            self.last_peak_block_bytes = max(self.last_peak_block_bytes, nbytes)
+
+    def _dequant_end(self, nbytes: int) -> None:
+        with self._dequant_lock:
+            self._dequant_now -= nbytes
+
+    def _stream_scores(self, q: np.ndarray, positions: List[int]) -> np.ndarray:
+        """Exact ``(Q, C)`` scores off quantized shards, block-streamed.
+
+        Each shard dequantizes bounded row blocks straight off its memory
+        map and writes its column slice of the output; shards run on the
+        fan-out pool.  Resident float32 footprint: one block per worker
+        thread (tracked by the ``last_peak_*`` counters), never the corpus.
+        """
+        loaded = [self._ensure(p) for p in positions]
+        total = sum(s.n for s in loaded)
+        out = np.empty((q.shape[0], total), dtype=np.float32)
+        bases = np.cumsum([0] + [s.n for s in loaded])
+
+        def score_shard(i: int) -> None:
+            shard, base = loaded[i], int(bases[i])
+            for start in range(0, shard.n, self.score_block_rows):
+                stop = min(start + self.score_block_rows, shard.n)
+                block = shard.block(start, stop)
+                self._dequant_start(block.nbytes)
+                try:
+                    out[:, base + start : base + stop] = score_pairs_tiled(
+                        self.trainer, q, block
+                    )
+                finally:
+                    self._dequant_end(block.nbytes)
+
+        self._run_fanout(score_shard, len(loaded))
+        return out
 
     def _scored_batch(
         self,
@@ -397,20 +850,30 @@ class ShardedEmbeddingIndex:
         The single implementation behind :meth:`scores`,
         :meth:`scores_batch`, :meth:`topk` and :meth:`topk_batch`, so the
         shard concatenation and metadata flattening happen once per call.
+        Float32 keeps the flat-matrix pass (bit parity with the monolithic
+        index); quantized codecs stream blocks off the memory maps.
         """
         q, num_q = normalize_query_batch(graphs, embeddings, self.dim)
         if len(self) == 0:
             return np.zeros((num_q, 0), dtype=np.float32), [], []
-        matrix, keys, metas = self._gather(shards)
-        if num_q == 0 or matrix.shape[0] == 0:
-            return (
-                np.zeros((num_q, matrix.shape[0]), dtype=np.float32),
-                keys,
-                metas,
-            )
+        if self.codec == "float32":
+            matrix, keys, metas = self._gather(shards)
+            if num_q == 0 or matrix.shape[0] == 0:
+                return (
+                    np.zeros((num_q, matrix.shape[0]), dtype=np.float32),
+                    keys,
+                    metas,
+                )
+            if q is None:
+                q = self._encoder.embed_queries(graphs, batch_size)
+            return score_pairs_tiled(self.trainer, q, matrix), keys, metas
+        keys, metas, positions = self._meta_gather(shards)
+        if num_q == 0 or not keys:
+            return np.zeros((num_q, len(keys)), dtype=np.float32), keys, metas
         if q is None:
             q = self._encoder.embed_queries(graphs, batch_size)
-        return score_pairs_tiled(self.trainer, q, matrix), keys, metas
+        self._dequant_reset()
+        return self._stream_scores(q, positions), keys, metas
 
     def scores(
         self,
@@ -439,6 +902,110 @@ class ShardedEmbeddingIndex:
         scores, _, _ = self._scored_batch(graphs, embeddings, batch_size, shards)
         return scores
 
+    # ---------------------------------------------------------- ANN path
+    def _ann_topk_batch(
+        self,
+        graphs: Optional[Sequence[ProgramGraph]],
+        embeddings: Optional[np.ndarray],
+        k: Optional[int],
+        batch_size: int,
+        nprobe: int,
+    ) -> List[List[Hit]]:
+        """Probe the best ``nprobe`` cells per query, rescore exactly, merge.
+
+        Cells are ranked by the *pair-head score of their centroids* — the
+        same scorer that produces the final ranking — not raw L2, so
+        pruning agrees with retrieval.  Per-shard partial top-k lists are
+        merged with a heap under the same ``(score desc, key asc,
+        position asc)`` tie-break :func:`ranked_hits` uses; with
+        ``nprobe >= num_cells`` the hit set therefore equals the exact
+        path's over the same stored rows, and the ordering agrees wherever
+        the scores do.  (The pair head's matmuls may round the same row
+        differently under different scoring-batch shapes — last-bit float
+        jitter — so per-hit scores are *allclose* to the exact path's, not
+        bit-identical, when shard layout changes the batch shapes.)
+        """
+        if self.quantizer is None:
+            raise ValueError(
+                "mode='ann' needs a trained coarse quantizer; call "
+                "train_quantizer() or build with `repro index build --cells N`"
+            )
+        if not isinstance(nprobe, numbers.Integral) or isinstance(nprobe, bool) or nprobe < 1:
+            raise ValueError(f"nprobe must be a positive integer, got {nprobe!r}")
+        q, num_q = normalize_query_batch(graphs, embeddings, self.dim)
+        if num_q == 0:
+            return []
+        if len(self) == 0:
+            return [[] for _ in range(num_q)]
+        if q is None:
+            q = self._encoder.embed_queries(graphs, batch_size)
+        self._dequant_reset()
+        quantizer = self.quantizer
+        cell_scores = score_pairs_tiled(self.trainer, q, quantizer.centroids)
+        probe_order = np.argsort(-cell_scores, axis=1, kind="stable")
+        probes = probe_order[:, : min(int(nprobe), quantizer.num_cells)]
+        masks = np.zeros((num_q, quantizer.num_cells), dtype=bool)
+        masks[np.arange(num_q)[:, None], probes] = True
+        positions = list(range(self.num_shards))
+        loaded = [self._ensure(p) for p in positions]
+        for position, shard in zip(positions, loaded):
+            if shard.cells is None:
+                raise ValueError(
+                    f"shard {position} has no cell assignments; re-run "
+                    "train_quantizer() so every shard is assigned"
+                )
+        bases = np.cumsum([0] + [s.n for s in loaded])
+        # candidates[qi][shard slot] — tuples ordered (neg score, key,
+        # global index, meta): tuple comparison IS the tie-break, and the
+        # unique global index shields the unorderable meta dict.
+        candidates: List[List[list]] = [
+            [[] for _ in positions] for _ in range(num_q)
+        ]
+
+        def probe_shard(i: int) -> None:
+            shard, base = loaded[i], int(bases[i])
+            hit_cells = masks[:, shard.cells]  # (Q, n) bool lookup
+            for qi in range(num_q):
+                selected = np.flatnonzero(hit_cells[qi])
+                if selected.size == 0:
+                    continue
+                rows = shard.rows(selected)
+                self._dequant_start(rows.nbytes)
+                try:
+                    scored = score_pairs_tiled(
+                        self.trainer, q[qi : qi + 1], rows
+                    )[0]
+                finally:
+                    self._dequant_end(rows.nbytes)
+                if k is not None and scored.size > k:
+                    # Keep every candidate tied with the k-th best score so
+                    # the merge can still apply the key tie-break exactly.
+                    kth = -np.partition(-scored, k - 1)[k - 1]
+                    keep = np.flatnonzero(scored >= kth)
+                    selected, scored = selected[keep], scored[keep]
+                candidates[qi][i] = [
+                    (
+                        -float(score),
+                        shard.keys[int(j)],
+                        int(base + j),
+                        shard.metas[int(j)],
+                    )
+                    for j, score in zip(selected, scored)
+                ]
+
+        self._run_fanout(probe_shard, len(positions))
+        results: List[List[Hit]] = []
+        for qi in range(num_q):
+            merged = [item for per_shard in candidates[qi] for item in per_shard]
+            best = sorted(merged) if k is None else heapq.nsmallest(k, merged)
+            results.append(
+                [
+                    Hit(index, -neg_score, dict(meta), key)
+                    for neg_score, key, index, meta in best
+                ]
+            )
+        return results
+
     def topk(
         self,
         graph: Optional[ProgramGraph] = None,
@@ -446,15 +1013,31 @@ class ShardedEmbeddingIndex:
         *,
         embedding: Optional[np.ndarray] = None,
         shards: Optional[Sequence[int]] = None,
+        mode: str = "exact",
+        nprobe: int = 8,
     ) -> List[Hit]:
         """Top-k entries by descending score (all entries when k is None).
 
-        ``Hit.index`` is the position within the scored entry set: global
-        when ``shards`` is None, shard-subset-relative otherwise.
+        ``mode="exact"`` (default) scores every entry; ``mode="ann"``
+        prunes to the ``nprobe`` best coarse-quantizer cells first (needs
+        a trained quantizer; incompatible with ``shards=``).  ``Hit.index``
+        is the position within the scored entry set: global when
+        ``shards`` is None, shard-subset-relative otherwise.
         """
         validate_k(k)
+        if mode not in ("exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
         if embedding is not None:
             embedding = np.asarray(embedding, dtype=np.float32).reshape(1, -1)
+        if mode == "ann":
+            if shards is not None:
+                raise ValueError(
+                    "mode='ann' always scores against the whole corpus; "
+                    "drop shards= or use mode='exact'"
+                )
+            return self._ann_topk_batch(
+                None if graph is None else [graph], embedding, k, 32, nprobe
+            )[0]
         scores, keys, metas = self._scored_batch(
             None if graph is None else [graph], embedding, 32, shards
         )
@@ -468,9 +1051,23 @@ class ShardedEmbeddingIndex:
         embeddings: Optional[np.ndarray] = None,
         batch_size: int = 32,
         shards: Optional[Sequence[int]] = None,
+        mode: str = "exact",
+        nprobe: int = 8,
     ) -> List[List[Hit]]:
-        """Per-query top-k hit lists for Q queries in one batched pass."""
+        """Per-query top-k hit lists for Q queries in one batched pass.
+
+        See :meth:`topk` for the ``mode`` / ``nprobe`` contract.
+        """
         validate_k(k)
+        if mode not in ("exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+        if mode == "ann":
+            if shards is not None:
+                raise ValueError(
+                    "mode='ann' always scores against the whole corpus; "
+                    "drop shards= or use mode='exact'"
+                )
+            return self._ann_topk_batch(graphs, embeddings, k, batch_size, nprobe)
         scores, keys, metas = self._scored_batch(
             graphs, embeddings, batch_size, shards
         )

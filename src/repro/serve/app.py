@@ -49,6 +49,8 @@ class ServerConfig:
     max_delay_ms: float = 10.0
     queue_depth: int = 64
     default_k: Optional[int] = 5
+    mode: str = "exact"  # "exact" | "ann" (needs an index with a quantizer)
+    nprobe: int = 8  # cells probed per query in ann mode
     store_root: Optional[str] = None
     max_line_bytes: int = 1 << 20
     enable_test_hooks: bool = False  # fault-injection requests, tests only
@@ -83,6 +85,10 @@ class ConcurrentServer:
 
     def __init__(self, config: ServerConfig):  # noqa: D107
         validate_k(config.default_k)
+        if config.mode not in ("exact", "ann"):
+            raise ValueError(
+                f"mode must be 'exact' or 'ann', got {config.mode!r}"
+            )
         self.config = config
         self.stats = ServerStats()
         self._stats_lock = threading.Lock()
@@ -96,6 +102,8 @@ class ConcurrentServer:
             workers=config.workers,
             default_k=config.default_k,
             max_batch=config.max_batch,
+            mode=config.mode,
+            nprobe=config.nprobe,
             store_root=config.store_root,
             enable_test_hooks=config.enable_test_hooks,
             on_batch_done=self._on_batch_done,

@@ -163,15 +163,32 @@ class RetrievalServer:
         batch_size: int = 8,
         default_k: Optional[int] = 5,
         store=None,
+        mode: str = "exact",
+        nprobe: int = 8,
     ):  # noqa: D107
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         # Same rule requests are held to: a bad --top-k should fail at
         # startup, not surface as a per-request "client" error.
         validate_k(default_k)
+        if mode not in ("exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+        if mode == "ann":
+            # Fail at startup, not per request: ANN needs a sharded index
+            # whose manifest carries a trained coarse quantizer.
+            if getattr(index, "quantizer", None) is None:
+                raise ValueError(
+                    "mode='ann' needs a sharded index with a trained coarse "
+                    "quantizer (build with `repro index build --shard-size N "
+                    "--cells K`)"
+                )
+            if nprobe < 1:
+                raise ValueError(f"nprobe must be >= 1, got {nprobe}")
         self.index = index
         self.batch_size = batch_size
         self.default_k = default_k
+        self.mode = mode
+        self.nprobe = nprobe
         self.pipeline = MatcherPipeline(trainer, store=store)
         self.stats = ServeStats()
 
@@ -221,7 +238,14 @@ class RetrievalServer:
             # per-request k then only trims the shared hit lists.
             wanted = [requests[slot]["k"] for slot in slots]
             batch_k = None if any(w is None for w in wanted) else max(wanted)
-            rankings = self.index.topk_batch(graphs, k=batch_k)
+            if self.mode == "ann":
+                rankings = self.index.topk_batch(
+                    graphs, k=batch_k, mode="ann", nprobe=self.nprobe
+                )
+            else:
+                # The default call stays verbatim: exact serving must keep
+                # bit parity with the pre-ANN service.
+                rankings = self.index.topk_batch(graphs, k=batch_k)
             for slot, hits in zip(slots, rankings):
                 req = requests[slot]
                 if req["k"] is not None:

@@ -65,6 +65,8 @@ class WorkerPool:
         workers: int = 2,
         default_k: Optional[int] = 5,
         max_batch: int = 8,
+        mode: str = "exact",
+        nprobe: int = 8,
         store_root: Optional[str] = None,
         enable_test_hooks: bool = False,
         on_batch_done: Callable[[int, List[dict]], None],
@@ -76,6 +78,8 @@ class WorkerPool:
         self.index_path = index_path
         self.default_k = default_k
         self.max_batch = max_batch
+        self.mode = mode
+        self.nprobe = nprobe
         self.store_root = store_root
         self.enable_test_hooks = enable_test_hooks
         self._on_batch_done = on_batch_done
@@ -129,6 +133,8 @@ class WorkerPool:
                 self.index_path,
                 self.default_k,
                 self.max_batch,
+                self.mode,
+                self.nprobe,
                 self.store_root,
                 self.enable_test_hooks,
             ),

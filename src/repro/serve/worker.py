@@ -40,6 +40,8 @@ def worker_main(
     index_path: str,
     default_k,
     max_batch: int,
+    mode: str,
+    nprobe: int,
     store_root,
     enable_test_hooks: bool,
 ) -> None:
@@ -54,7 +56,13 @@ def worker_main(
         index = open_index(index_path, trainer)
         store = ArtifactStore(store_root) if store_root else None
         server = RetrievalServer(
-            trainer, index, batch_size=max_batch, default_k=default_k, store=store
+            trainer,
+            index,
+            batch_size=max_batch,
+            default_k=default_k,
+            store=store,
+            mode=mode,
+            nprobe=nprobe,
         )
     except Exception as exc:  # pragma: no cover - startup failure path
         result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))

@@ -260,3 +260,128 @@ class TestOpenIndex:
         assert isinstance(
             open_index(tmp_path / "sharded", trained), ShardedEmbeddingIndex
         )
+
+
+class TestShardSelection:
+    def test_duplicate_shards_rejected(self, trained, corpus, mono, tmp_path):
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        query = c[0].decompiled_graph
+        with pytest.raises(ValueError, match="duplicate shard"):
+            sharded.scores(query, shards=[0, 0])
+        with pytest.raises(ValueError, match="duplicate shard"):
+            sharded.topk(query, k=2, shards=[1, 0, 1])
+        # A permutation without repeats is still fine.
+        assert sharded.scores(query, shards=[1, 0]).shape[0] == 6
+
+
+class _SpyArchive:
+    """np.load stand-in that records the embeddings array it hands out."""
+
+    def __init__(self, archive, handed):
+        self._archive = archive
+        self._handed = handed
+        self.files = archive.files
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._archive.close()
+
+    def __getitem__(self, key):
+        arr = self._archive[key]
+        if key == "embeddings":
+            self._handed["arr"] = arr
+        return arr
+
+
+class TestNoCopyLoads:
+    """astype(copy=False) regression: loading float32 must not duplicate."""
+
+    def test_monolithic_load_shares_archive_memory(
+        self, trained, mono, tmp_path, monkeypatch
+    ):
+        import repro.index.embedding_index as ei
+
+        path = tmp_path / "mono.npz"
+        mono.save(path)
+        handed = {}
+        real_load = np.load
+        monkeypatch.setattr(
+            ei.np, "load", lambda p: _SpyArchive(real_load(p), handed)
+        )
+        reopened = EmbeddingIndex.load(path, trained)
+        row = reopened._cache[reopened._keys[0]]
+        assert np.shares_memory(row, handed["arr"])
+
+    def test_shard_load_shares_archive_memory(
+        self, trained, mono, tmp_path, monkeypatch
+    ):
+        import repro.index.sharded as sh
+
+        ShardedEmbeddingIndex.from_index(mono, tmp_path / "idx", 3)
+        reopened = ShardedEmbeddingIndex.open(tmp_path / "idx", trained)
+        handed = {}
+        real_load = np.load
+        monkeypatch.setattr(
+            sh.np, "load", lambda p: _SpyArchive(real_load(p), handed)
+        )
+        shard = reopened._ensure(0)
+        assert shard.embeddings is handed["arr"]
+
+
+class TestTieBreaking:
+    """Equal scores break ties by entry key, not insertion position."""
+
+    @pytest.fixture()
+    def equal_corpus(self, trained, mono):
+        # Every entry carries the same embedding row, so every query
+        # scores every entry identically — the pure tie-break case.
+        keys = sorted(mono._keys, reverse=True)  # insertion order != key order
+        row = np.tile(mono.embeddings[:1], (len(keys), 1))
+        index = EmbeddingIndex(trained)
+        index.add_precomputed(keys, row, [{"key": k} for k in keys])
+        return index
+
+    def test_ranked_hits_order(self, trained, corpus, equal_corpus):
+        c, _ = corpus
+        hits = equal_corpus.topk(c[0].decompiled_graph, k=None)
+        scores = [h.score for h in hits]
+        assert len(set(scores)) == 1  # the premise: all tied
+        assert [h.key for h in hits] == sorted(h.key for h in hits)
+
+    def test_sharded_matches_monolithic_on_ties(
+        self, trained, corpus, equal_corpus, tmp_path
+    ):
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.from_index(equal_corpus, tmp_path / "idx", 2)
+        query = c[0].decompiled_graph
+        mono_hits = equal_corpus.topk(query, k=4)
+        shard_hits = sharded.topk(query, k=4)
+        assert [(h.index, h.key) for h in shard_hits] == [
+            (h.index, h.key) for h in mono_hits
+        ]
+
+    def test_ann_merge_matches_exact_on_ties(
+        self, trained, corpus, equal_corpus, tmp_path
+    ):
+        # One shard, so exact and ANN score through identical batch
+        # shapes: every score is bit-equal and only the tie-break orders
+        # the hits.  (Across different shapes the pair head may round the
+        # same row differently — that case is covered with a tolerance in
+        # test_index_scale.py.)
+        c, _ = corpus
+        sharded = ShardedEmbeddingIndex.from_index(
+            equal_corpus, tmp_path / "idx", len(equal_corpus), cells=2
+        )
+        query = c[0].decompiled_graph
+        exact = sharded.topk(query, k=4)
+        ann = sharded.topk(
+            query, k=4, mode="ann", nprobe=sharded.quantizer.num_cells
+        )
+        assert len({h.score for h in ann}) == 1  # the premise: all tied
+        assert [(h.index, h.key) for h in ann] == [
+            (h.index, h.key) for h in exact
+        ]
+        assert [h.key for h in ann] == sorted(h.key for h in ann)
