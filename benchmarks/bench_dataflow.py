@@ -1,0 +1,296 @@
+"""Dataflow workload — edge determinism, verifier sweep, retrieval ablation.
+
+Not a paper table: this bench gates the static-analysis subsystem
+(``repro.ir.analysis`` + the ``dataflow``/``callsummary`` graph relations,
+PR 8).  Three contracts:
+
+* **determinism** — the analysis-derived edges are *bit-identical across
+  fresh processes*: two subprocesses each lower + optimize + graph the
+  same task slice with ``dataflow=True`` and hash every
+  dataflow/callsummary edge array; the digests must match (the artifact
+  store's content-addressing and the cross-process corpus builders depend
+  on it);
+* **verifier sweep** — with ``verify_passes`` on, the full staged pipeline
+  (lower → every optimization pass → codegen → decompile, plus a
+  transform-chain subset) runs a corpus slice end to end with *zero*
+  verifier violations, and the final modules on both sides analyze clean
+  (:func:`repro.ir.analysis.analyze_module` returns no error findings);
+* **ablation** — a Table-8-style feature ablation under the PR 5
+  transform sweep: one model trained on base-relation graphs, one on
+  dataflow-extended graphs, both swept through the robustness harness
+  (regrename / blockreorder); the dataflow-on system must not regress
+  clean retrieval MRR versus dataflow-off.
+
+Digests, violation counts and both robustness matrices merge into
+``benchmarks/perf/BENCH_dataflow.json``.  Set ``REPRO_BENCH_SMOKE=1``
+(scripts/verify.sh does) for a reduced sweep with the same gates.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.artifacts import ArtifactStore
+from repro.config import EXTENDED_RELATIONS, DataConfig
+from repro.eval.experiments import build_crosslang_dataset
+from repro.eval.robustness import RobustnessHarness
+from repro.ir.analysis import SEVERITY_ERROR, analyze_module
+from repro.lang.generator import SolutionGenerator
+from repro.lang.tasks import TASK_REGISTRY
+from repro.pipeline import CompilationPipeline
+from repro.utils.tables import Table
+
+from benchmarks.common import (
+    ARTIFACT_CACHE,
+    BENCH_SEED,
+    run_once,
+    trained_gbm,
+    write_perf_record,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+LANGS = ("c", "cpp", "java")
+DET_TASKS = 4 if SMOKE else 8
+SWEEP_TASKS = 6 if SMOKE else 14
+SWEEP_LEVELS = ("O0", "O2", "Oz") if SMOKE else ("O0", "O1", "O2", "O3", "Oz")
+SWEEP_CHAINS = ("regrename", "deadcode+regrename")
+ABLATION_CHAINS = ("regrename", "blockreorder")
+INTENSITIES = (1.0,) if SMOKE else (0.5, 1.0)
+TRAIN_TASKS = 6 if SMOKE else 8
+CORPUS_TASKS = 10 if SMOKE else 14
+MAX_QUERIES = 8 if SMOKE else 12
+# The ablation compares graph schemas through *model quality*, so it keeps
+# the full cpu_config architecture (hidden 48, 3 layers, interaction pair
+# head) — a serving-scale 1-layer/16-dim model is too weak to exploit the
+# extra relations and inverts the comparison.  Both systems share the
+# config exactly; only `relations` (and the corpus schema) differ.
+ABLATION_MODEL = dict(epochs=10)
+
+
+def _bench_tasks(n: int):
+    return sorted(TASK_REGISTRY)[:n]
+
+
+# ---------------------------------------------------------- determinism
+# Runs in a *fresh interpreter*: same-process determinism would not catch
+# iteration orders that leak id()/hash randomization into the edge arrays.
+_EDGE_HASH_SCRIPT = """\
+import hashlib
+from repro.graphs.programl import CALLSUMMARY, DATAFLOW, build_graph
+from repro.ir.lowering import lower_program
+from repro.ir.passes.pipeline import optimize
+from repro.lang.generator import SolutionGenerator
+
+gen = SolutionGenerator(seed={seed}, independent=True)
+h = hashlib.sha256()
+for task in {tasks!r}:
+    for lang in {langs!r}:
+        sf = gen.generate(task, 0, lang)
+        module = lower_program(sf.program, name=sf.identifier)
+        optimize(module, "O2")
+        g = build_graph(module, name=sf.identifier, dataflow=True)
+        for rel in (DATAFLOW, CALLSUMMARY):
+            h.update(rel.encode())
+            h.update(g.edges[rel].tobytes())
+            h.update(g.positions[rel].tobytes())
+        h.update("\\x00".join(g.node_texts).encode())
+print(h.hexdigest())
+"""
+
+
+def _edge_digest() -> str:
+    """Analysis-edge digest for the probe slice, from a fresh process."""
+    script = _EDGE_HASH_SCRIPT.format(
+        seed=BENCH_SEED, tasks=_bench_tasks(DET_TASKS), langs=LANGS
+    )
+    env = dict(os.environ)
+    root = Path(__file__).resolve().parent.parent
+    env["PYTHONPATH"] = str(root / "src")
+    env["PYTHONHASHSEED"] = "random"  # determinism must not lean on hashing
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, cwd=root, check=True,
+    )
+    return proc.stdout.strip()
+
+
+# ------------------------------------------------------- verifier sweep
+def _verifier_sweep() -> dict:
+    """Compile a corpus slice with verify-after-every-pass enabled.
+
+    ``verify_passes=True`` re-verifies the module after every optimization
+    pass and every transform application — any violation raises out of
+    ``compile`` and fails the bench.  The final modules on both sides are
+    additionally analyzed for error-severity findings.
+    """
+    pipeline = CompilationPipeline(dataflow_edges=True, verify_passes=True)
+    gen = SolutionGenerator(seed=BENCH_SEED, independent=True)
+    modules = 0
+    findings = 0
+    for task in _bench_tasks(SWEEP_TASKS):
+        for lang in LANGS:
+            for opt in SWEEP_LEVELS:
+                sf = gen.generate(task, 0, lang)
+                result = pipeline.compile(
+                    sf.text, lang, name=sf.identifier,
+                    opt_level=opt, program=sf.program,
+                )
+                modules += 2  # source-side + decompiled-side
+                for module in (result.source_module, result.decompiled_module):
+                    findings += sum(
+                        1 for f in analyze_module(module)
+                        if f.severity == SEVERITY_ERROR
+                    )
+    # Transform chains exercise verify-after-transform on a subset.
+    from repro.eval.robustness import chain_specs
+
+    transformed = 0
+    for task in _bench_tasks(2):
+        sf = gen.generate(task, 0, "c")
+        for chain in SWEEP_CHAINS:
+            pipeline.compile(
+                sf.text, "c", name=sf.identifier, opt_level="O1",
+                program=sf.program,
+                transforms=chain_specs(chain, 1.0, BENCH_SEED),
+            )
+            transformed += 1
+    return {"modules": modules, "transformed": transformed, "error_findings": findings}
+
+
+# ------------------------------------------------------------- ablation
+def _ablation(tmp: Path) -> dict:
+    """Robustness sweep with and without the analysis-derived relations."""
+    rows = {}
+    for mode, dataflow in (("off", False), ("on", True)):
+        train_cfg = DataConfig(
+            num_tasks=TRAIN_TASKS, variants=2, seed=BENCH_SEED,
+            max_pairs_per_task=4, artifact_dir=ARTIFACT_CACHE or None,
+            dataflow_edges=dataflow,
+        )
+        dataset, _ = build_crosslang_dataset(train_cfg, ["c"], ["java"])
+        overrides = dict(ABLATION_MODEL)
+        if dataflow:
+            overrides["relations"] = EXTENDED_RELATIONS
+        trainer = trained_gbm(f"dataflow-{mode}", dataset, **overrides)
+        harness = RobustnessHarness(
+            trainer,
+            DataConfig(
+                num_tasks=CORPUS_TASKS, variants=2, seed=BENCH_SEED,
+                max_pairs_per_task=4, dataflow_edges=dataflow,
+            ),
+            source_languages=["java"],
+            query_language="c",
+            store=ArtifactStore(tmp / f"store-{mode}"),
+            index_root=tmp / f"index-{mode}",
+            transform_seed=BENCH_SEED,
+            max_queries=MAX_QUERIES,
+        )
+        report = harness.evaluate(ABLATION_CHAINS, INTENSITIES)
+        rows[mode] = {
+            "clean": report.clean.to_dict(),
+            "matrix": report.matrix(),
+            "num_queries": report.num_queries,
+            "num_candidates": report.num_candidates,
+        }
+    return rows
+
+
+def _run():
+    t0 = time.perf_counter()
+    first, second = _edge_digest(), _edge_digest()
+    determinism_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sweep = _verifier_sweep()
+    sweep_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory(prefix="repro-bench-dataflow-") as tmp:
+        ablation = _ablation(Path(tmp))
+    ablation_s = time.perf_counter() - t0
+
+    return {
+        "digest_first": first,
+        "digest_second": second,
+        "sweep": sweep,
+        "ablation": ablation,
+        "determinism_s": determinism_s,
+        "sweep_s": sweep_s,
+        "ablation_s": ablation_s,
+    }
+
+
+def test_dataflow_workload(benchmark):
+    r = run_once(benchmark, _run)
+
+    table = Table(
+        "Dataflow subsystem gates",
+        ["Gate", "Wall s", "Outcome"],
+    )
+    table.add_row(
+        "edge determinism (2 processes)", round(r["determinism_s"], 2),
+        r["digest_first"][:16],
+    )
+    table.add_row(
+        f"verifier sweep ({r['sweep']['modules']} modules, "
+        f"{r['sweep']['transformed']} transformed)",
+        round(r["sweep_s"], 2),
+        f"{r['sweep']['error_findings']} errors",
+    )
+    mrr_on = r["ablation"]["on"]["clean"]["mrr"]
+    mrr_off = r["ablation"]["off"]["clean"]["mrr"]
+    table.add_row(
+        "ablation clean MRR on/off", round(r["ablation_s"], 2),
+        f"{mrr_on:.3f} vs {mrr_off:.3f}",
+    )
+    print()
+    print(table.render())
+    mrr_table = Table(
+        "Robustness under transforms (MRR)",
+        ["Chain", "Intensity", "dataflow off", "dataflow on"],
+    )
+    for chain in ABLATION_CHAINS:
+        for i in INTENSITIES:
+            mrr_table.add_row(
+                chain, f"{i:g}",
+                round(r["ablation"]["off"]["matrix"][chain][f"{i:g}"]["mrr"], 3),
+                round(r["ablation"]["on"]["matrix"][chain][f"{i:g}"]["mrr"], 3),
+            )
+    print(mrr_table.render())
+
+    # Gate 1: the analysis-derived edges are bit-identical across fresh
+    # interpreter processes (hash randomization explicitly enabled).
+    assert r["digest_first"] == r["digest_second"], (
+        f"dataflow/callsummary edges differ across processes: "
+        f"{r['digest_first']} != {r['digest_second']}"
+    )
+
+    # Gate 2: verify-after-every-pass raised nothing (or compile() would
+    # have thrown) and the final modules carry zero error findings.
+    assert r["sweep"]["error_findings"] == 0, (
+        f"{r['sweep']['error_findings']} error findings on final modules"
+    )
+
+    # Gate 3: emitting the analysis relations must not regress clean
+    # retrieval versus the base-relation system.
+    assert mrr_on >= mrr_off, (
+        f"dataflow-on clean MRR {mrr_on:.4f} regressed below "
+        f"dataflow-off {mrr_off:.4f}"
+    )
+
+    write_perf_record(
+        "dataflow",
+        {
+            "edge_digest": r["digest_first"],
+            "determinism_s": r["determinism_s"],
+            "verifier_sweep": r["sweep"],
+            "verifier_sweep_s": r["sweep_s"],
+            "ablation": r["ablation"],
+            "ablation_s": r["ablation_s"],
+            "smoke": SMOKE,
+        },
+    )

@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Fail on import cycles between modules under ``src/repro``.
+
+Parses every module's *top-level* imports with ``ast`` (no code is
+executed) and runs Tarjan's SCC algorithm over the intra-package import
+graph. Any strongly connected component with more than one module — or a
+module importing itself — is a cycle and fails the check with the cycle
+spelled out. Function-local imports are deliberately ignored: deferring
+an import inside a function is the sanctioned way to break a genuine
+layering exception, and this checker is what keeps the exceptions
+deliberate.
+
+Usage: python scripts/check_import_cycles.py [package_root]
+(default: src/repro, resolved relative to the repo root).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE = "repro"
+
+
+def module_name(path: Path, src_root: Path) -> str:
+    rel = path.relative_to(src_root).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def top_level_imports(path: Path, current: str, modules: set[str]) -> set[str]:
+    """Resolved intra-package module dependencies of one file.
+
+    `from X import y` resolves to the submodule ``X.y`` when that is a
+    module, and to ``X`` otherwise — so the package-as-namespace idiom
+    (`from repro.lang import ast`) depends on ``repro.lang.ast``, not on
+    the package ``__init__`` that happens to contain it.
+    """
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+    def resolve(name: str) -> str | None:
+        if not name.startswith(PACKAGE):
+            return None
+        while name and name not in modules:
+            name = name.rpartition(".")[0]
+        return name or None
+
+    found: set[str] = set()
+    for node in tree.body:  # body only: function-local imports are exempt
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (target := resolve(alias.name)) is not None:
+                    found.add(target)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import — resolve against `current`
+                package = current if path.name == "__init__.py" else current.rpartition(".")[0]
+                anchor = package.split(".")[: None if node.level == 1 else 1 - node.level]
+                prefix = ".".join(anchor)
+                base = f"{prefix}.{node.module}" if node.module else prefix
+            elif node.module:
+                base = node.module
+            else:
+                continue
+            for alias in node.names:
+                target = resolve(f"{base}.{alias.name}")
+                if target is None or target == base.rpartition(".")[0]:
+                    target = resolve(base)
+                if target is not None:
+                    found.add(target)
+    return found
+
+
+def build_graph(src_root: Path) -> dict[str, set[str]]:
+    modules = {
+        module_name(p, src_root): p
+        for p in sorted(src_root.rglob("*.py"))
+    }
+    graph: dict[str, set[str]] = {name: set() for name in modules}
+    for name, path in modules.items():
+        for target in top_level_imports(path, name, set(modules)):
+            if target != name:
+                graph[name].add(target)
+    return graph
+
+
+def strongly_connected(graph: dict[str, set[str]]) -> list[list[str]]:
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    def visit(root: str) -> None:
+        nonlocal counter
+        # Iterative Tarjan: recursion would overflow on deep chains.
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = low[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, edges = work[-1]
+            advanced = False
+            for nxt in edges:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter
+                    counter += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph[nxt]))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(sorted(scc))
+
+    for name in sorted(graph):
+        if name not in index:
+            visit(name)
+    return sccs
+
+
+def main(argv: list[str]) -> int:
+    src_root = Path(argv[1]) if len(argv) > 1 else REPO_ROOT / "src" / PACKAGE
+    src_root = src_root.resolve()
+    if not src_root.is_dir():
+        print(f"check_import_cycles: no such package root: {src_root}", file=sys.stderr)
+        return 2
+    graph = build_graph(src_root.parent)
+    cycles = [
+        scc for scc in strongly_connected(graph)
+        if len(scc) > 1 or (len(scc) == 1 and scc[0] in graph[scc[0]])
+    ]
+    if cycles:
+        print(f"check_import_cycles: {len(cycles)} import cycle(s):", file=sys.stderr)
+        for scc in cycles:
+            print("  " + " -> ".join(scc + [scc[0]]), file=sys.stderr)
+        return 1
+    edges = sum(len(v) for v in graph.values())
+    print(f"check_import_cycles: OK ({len(graph)} modules, {edges} intra-package edges, no cycles)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

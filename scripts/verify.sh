@@ -15,6 +15,13 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # deadlocked server must fail loudly, not hang CI until the job times out.
 TIER1_TIMEOUT="${REPRO_VERIFY_TIMEOUT:-1800}"
 
+echo "== static lint: compileall + import-cycle check =="
+# Catches syntax errors in files no test imports, and top-level import
+# cycles between repro.* modules (function-local imports are exempt —
+# that is the sanctioned escape hatch).
+python -m compileall -q src/repro
+python scripts/check_import_cycles.py
+
 echo "== tier-1: pytest (timeout ${TIER1_TIMEOUT}s) =="
 timeout --signal=INT "$TIER1_TIMEOUT" python -m pytest -x -q
 
@@ -177,6 +184,18 @@ REPRO_BENCH_SMOKE=1 timeout --signal=INT 900 \
   python -m pytest benchmarks/bench_index_scale.py -x -q
 if [ ! -f benchmarks/perf/BENCH_index_scale.json ]; then
   echo "verify: FAIL — bench_index_scale did not write benchmarks/perf/BENCH_index_scale.json" >&2
+  exit 1
+fi
+
+echo "== bench: dataflow-analysis gates (smoke scale) =="
+# Gates: analysis-derived dataflow/callsummary edges bit-identical across
+# fresh processes, verify-after-every-pass corpus sweep with zero error
+# findings, dataflow-on retrieval no worse than dataflow-off on clean
+# queries.  Writes BENCH_dataflow.json.
+REPRO_BENCH_SMOKE=1 timeout --signal=INT 900 \
+  python -m pytest benchmarks/bench_dataflow.py -x -q
+if [ ! -f benchmarks/perf/BENCH_dataflow.json ]; then
+  echo "verify: FAIL — bench_dataflow did not write benchmarks/perf/BENCH_dataflow.json" >&2
   exit 1
 fi
 

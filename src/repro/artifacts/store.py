@@ -60,9 +60,12 @@ class ArtifactKey:
     clean compilation) — it is parsed and canonicalized on construction,
     so an unknown transform name or malformed intensity raises
     :class:`repro.transform.TransformError` here instead of silently
-    keying an orphan cache entry nobody can ever hit again.  ``version``
-    pins the pipeline implementation; every field participates in the
-    digest.
+    keying an orphan cache entry nobody can ever hit again.
+    ``graph_features`` names the graph-schema variant: ``""`` for the
+    three structural relations, ``"dataflow"`` when the pipeline emitted
+    the analysis-derived relations — graphs with different edge schemas
+    must never share an entry.  ``version`` pins the pipeline
+    implementation; every field participates in the digest.
     """
 
     task: str
@@ -73,6 +76,7 @@ class ArtifactKey:
     source_id: str
     version: str = PIPELINE_VERSION
     transforms: str = ""
+    graph_features: str = ""
 
     def __post_init__(self):  # noqa: D105
         # Validate AND canonicalize: "deadcode" and "deadcode@1~0" are the
@@ -80,6 +84,11 @@ class ArtifactKey:
         object.__setattr__(
             self, "transforms", chain_id(parse_transform_chain(self.transforms))
         )
+        if self.graph_features not in ("", "dataflow"):
+            raise ValueError(
+                f"unknown graph_features {self.graph_features!r}; "
+                "expected '' or 'dataflow'"
+            )
 
     @property
     def digest(self) -> str:
@@ -94,6 +103,7 @@ class ArtifactKey:
                 self.source_id,
                 self.version,
                 self.transforms,
+                self.graph_features,
             ]
         )
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -25,6 +25,9 @@ Commands
 ``robustness`` Retrieval robustness under binary transforms: sweep
                transform chains × intensities against a clean candidate
                index and print the robustness matrix.
+``analyze``    Static-analysis report for one compiled solution: def-use
+               chains, per-block liveness, interprocedural call summaries
+               and verifier findings (``--json`` for tooling).
 ``transforms`` List the registered code transforms.
 ``tasks``      List the task templates the generator knows.
 
@@ -285,6 +288,23 @@ def build_parser() -> argparse.ArgumentParser:
     rb.add_argument("--cells", type=int, default=0, metavar="K",
                     help="quantizer cells to train when the clean index "
                          "is built here (0 = sqrt of corpus size)")
+
+    an = sub.add_parser(
+        "analyze",
+        help="static-analysis report for one compiled solution",
+        description="Lower + optimize one generated solution, then dump "
+        "def-use chains, per-block liveness, interprocedural call summaries "
+        "and verifier findings from repro.ir.analysis.",
+    )
+    an.add_argument("task", help="task template name (see `repro tasks`)")
+    an.add_argument("--language", default="c", choices=("c", "cpp", "java"))
+    an.add_argument("--variant", type=int, default=0)
+    an.add_argument("--seed", type=int, default=0)
+    an.add_argument("--opt-level", default="Oz", choices=("O0", "O1", "O2", "O3", "Oz"))
+    an.add_argument("--function", default=None, metavar="NAME",
+                    help="restrict the per-function sections to one function")
+    an.add_argument("--json", action="store_true",
+                    help="machine-readable report on stdout")
 
     sub.add_parser("transforms", help="list registered code transforms")
     sub.add_parser("tasks", help="list available task templates")
@@ -756,6 +776,125 @@ def cmd_robustness(args) -> int:
     return 0
 
 
+def _analyze_function_report(fn) -> dict:
+    """Def-use chains + per-block liveness for one defined function."""
+    from repro.ir.analysis import DefUseChains, liveness
+
+    chains = DefUseChains.build(fn)
+    analysis, result = liveness(fn)
+    # Liveness facts are uid ints / ("arg", i) tokens; spell them the way
+    # the printer does so the report reads like the IR dump.
+    spelling = {("arg", a.index): a.short() for a in fn.args}
+    for instr in fn.instructions():
+        spelling[instr.uid] = instr.short()
+    defuse = []
+    for value in chains.definitions():
+        uses = chains.users(value)
+        if not uses:
+            continue
+        defuse.append({
+            "def": value.short(),
+            "uses": [
+                {"user": u.user.short(), "opcode": u.user.opcode, "position": u.position}
+                for u in uses
+            ],
+        })
+    blocks = [
+        {
+            "label": blk.label,
+            "live_in": [spelling.get(t, repr(t)) for t in analysis.live_in(result, blk)],
+            "live_out": [spelling.get(t, repr(t)) for t in analysis.live_out(result, blk)],
+        }
+        for blk in fn.blocks
+    ]
+    return {
+        "name": fn.name,
+        "num_blocks": len(fn.blocks),
+        "cross_block_edges": len(chains.cross_block_pairs()),
+        "defuse": defuse,
+        "liveness": blocks,
+    }
+
+
+def cmd_analyze(args) -> int:
+    """Dump dataflow analyses + verifier findings for one compiled task."""
+    import json
+
+    from repro.ir.analysis import CallGraph, analyze_module
+    from repro.ir.lowering import lower_program
+    from repro.ir.passes.pipeline import optimize
+    from repro.lang.generator import SolutionGenerator
+
+    gen = SolutionGenerator(seed=args.seed, independent=True)
+    sf = gen.generate(args.task, args.variant, args.language)
+    module = lower_program(sf.program, name=sf.identifier)
+    optimize(module, args.opt_level)
+
+    functions = [
+        fn for fn in module.defined_functions()
+        if args.function is None or fn.name == args.function
+    ]
+    if args.function is not None and not functions:
+        have = ", ".join(fn.name for fn in module.defined_functions())
+        print(f"error: no defined function {args.function!r}; have: {have}",
+              file=sys.stderr)
+        return 1
+
+    summaries = CallGraph(module).summaries()
+    findings = analyze_module(module)
+    report = {
+        "module": sf.identifier,
+        "opt_level": args.opt_level,
+        "functions": [_analyze_function_report(fn) for fn in functions],
+        "summaries": {
+            name: {
+                "defined": s.defined,
+                "pure": s.pure,
+                "reads_memory": s.reads_memory,
+                "writes_memory": s.writes_memory,
+                "calls_external": s.calls_external,
+                "may_call": sorted(s.may_call),
+                "size": s.size,
+            }
+            for name, s in sorted(summaries.items())
+        },
+        "findings": [
+            {
+                "severity": f.severity,
+                "kind": f.kind,
+                "function": f.function,
+                "block": f.block,
+                "instruction": f.instruction,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=False))
+        return 0
+
+    print(f"# {sf.identifier} @ {args.opt_level}")
+    for fr in report["functions"]:
+        print(f"\n@{fr['name']}: {fr['num_blocks']} blocks, "
+              f"{fr['cross_block_edges']} cross-block def-use edges")
+        for entry in fr["defuse"]:
+            uses = ", ".join(
+                f"{u['user']}({u['opcode']})#{u['position']}" for u in entry["uses"]
+            )
+            print(f"  {entry['def']} -> {uses}")
+        for blk in fr["liveness"]:
+            print(f"  {blk['label']}: live-in [{', '.join(blk['live_in'])}] "
+                  f"live-out [{', '.join(blk['live_out'])}]")
+    print("\n# call summaries")
+    for name, s in sorted(summaries.items()):
+        print(f"  {s.describe()}")
+    print(f"\n# verifier findings: {len(findings)}")
+    for f in findings:
+        print(f"  {f.render()}")
+    return 0
+
+
 def cmd_transforms(_args) -> int:
     """List registered transforms (name, level, description)."""
     from repro.transform import TRANSFORM_REGISTRY
@@ -785,6 +924,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "experiment": cmd_experiment,
     "robustness": cmd_robustness,
+    "analyze": cmd_analyze,
     "transforms": cmd_transforms,
     "tasks": cmd_tasks,
 }

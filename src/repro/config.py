@@ -10,7 +10,14 @@ is what the relative comparisons in the tables depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Optional, Tuple
+
+#: The paper's three structural graph relations (mirrors
+#: ``repro.graphs.programl.RELATIONS`` without importing it — config must
+#: stay dependency-free for pickling into worker processes).
+BASE_RELATIONS: Tuple[str, ...] = ("control", "data", "call")
+#: Plus the analysis-derived relations of ``dataflow_edges`` corpora.
+EXTENDED_RELATIONS: Tuple[str, ...] = BASE_RELATIONS + ("dataflow", "callsummary")
 
 
 @dataclass(frozen=True)
@@ -37,6 +44,15 @@ class ModelConfig:
     label_smoothing: float = 0.0
     grad_clip: float = 5.0
     seed: int = 0
+    # Edge relations the GNN convolves over — one GATv2 per entry per
+    # layer.  The default is the paper's three structural relations; use
+    # EXTENDED_RELATIONS for corpora built with DataConfig.dataflow_edges.
+    # Stored as a tuple so the frozen config stays hashable and its JSON
+    # round-trip (lists) re-canonicalizes here.
+    relations: Tuple[str, ...] = BASE_RELATIONS
+
+    def __post_init__(self):  # noqa: D105
+        object.__setattr__(self, "relations", tuple(self.relations))
 
 
 @dataclass(frozen=True)
@@ -63,6 +79,11 @@ class DataConfig:
     # Root directory of a content-addressed artifact store shared across
     # processes; None disables persistence and every build compiles cold.
     artifact_dir: Optional[str] = None
+    # Emit the analysis-derived dataflow/callsummary graph relations (see
+    # repro.ir.analysis).  Rides in the pickled config, so parallel build
+    # workers and the serial path produce identical graphs; artifact keys
+    # carry the matching graph_features qualifier.
+    dataflow_edges: bool = False
 
 
 def paper_config() -> ModelConfig:

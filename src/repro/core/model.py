@@ -24,7 +24,7 @@ import repro.nn as nn
 from repro.config import ModelConfig
 from repro.core.node_features import NodeTokens
 from repro.graphs.batch import GraphBatch
-from repro.graphs.programl import RELATIONS
+from repro.graphs.programl import EXTENDED_RELATIONS, RELATIONS
 from repro.nn.functional import concat
 from repro.nn.tensor import Tensor
 from repro.utils.rng import derive_rng
@@ -36,12 +36,18 @@ class GraphBinMatch(nn.Module):
     def __init__(self, vocab_size: int, config: ModelConfig):  # noqa: D107
         super().__init__()
         self.config = config
+        relations = tuple(config.relations) or RELATIONS
+        unknown = [r for r in relations if r not in EXTENDED_RELATIONS]
+        if unknown:
+            raise ValueError(
+                f"unknown graph relations {unknown}; known: {list(EXTENDED_RELATIONS)}"
+            )
         rng = derive_rng(config.seed, "model-init")
         self.token_embedding = nn.Embedding(
             vocab_size, config.embed_dim, padding_idx=0, rng=rng
         )
         self.gnn = nn.HeteroGNNStack(
-            RELATIONS,
+            relations,
             in_dim=config.embed_dim,
             hidden_dim=config.hidden_dim,
             num_layers=config.num_layers,

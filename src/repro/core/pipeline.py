@@ -84,7 +84,11 @@ class MatcherPipeline:
         if trainer.model is None:
             raise ValueError("trainer has no trained model")
         self.trainer = trainer
-        self.compiler = CompilationPipeline(store=store)
+        # Emit whatever edge schema the model was trained on: a trainer
+        # configured with the analysis-derived relations needs query
+        # graphs that actually carry them.
+        dataflow = "dataflow" in tuple(getattr(trainer.config, "relations", ()))
+        self.compiler = CompilationPipeline(store=store, dataflow_edges=dataflow)
         # Trainers whose weight fingerprint already matched ours; hashing
         # every weight tensor is too expensive to repeat per query.
         self._trusted_trainer_ids: set = set()

@@ -130,7 +130,9 @@ class CorpusBuilder:
         if store is None and config.artifact_dir:
             store = ArtifactStore(config.artifact_dir)
         self.store = store
-        self.pipeline = pipeline or CompilationPipeline(store=store)
+        self.pipeline = pipeline or CompilationPipeline(
+            store=store, dataflow_edges=config.dataflow_edges
+        )
         self.timer = self.pipeline.timer
         self.stats: Dict[str, Dict[str, int]] = {}
 
@@ -176,6 +178,7 @@ class CorpusBuilder:
             compiler=compiler,
             source_id=self._source_id(),
             transforms=transforms,
+            graph_features=self.pipeline.graph_features,
         )
 
     def _items(self, languages: Sequence[str]) -> List[Tuple[str, int, str]]:
@@ -302,7 +305,11 @@ class CorpusBuilder:
         if self.store is None:
             scratch = tempfile.mkdtemp(prefix="repro-artifacts-")
             self.store = ArtifactStore(scratch)
-            self.pipeline = CompilationPipeline(store=self.store, timer=self.timer)
+            self.pipeline = CompilationPipeline(
+                store=self.store,
+                timer=self.timer,
+                dataflow_edges=self.config.dataflow_edges,
+            )
         try:
             todo = [
                 item

@@ -59,14 +59,29 @@ class GraphBatch:
         return self._graph_index
 
 
+def batch_relations(graphs: Sequence[ProgramGraph]) -> List[str]:
+    """The union of relations a batch must carry, deterministically ordered.
+
+    The base :data:`RELATIONS` always lead (zero-edge when absent, so
+    models built for the three-relation schema keep working on any
+    batch); extra relations — e.g. the analysis-derived ``dataflow`` /
+    ``callsummary`` — follow in sorted order.
+    """
+    extra = sorted(
+        {rel for g in graphs for rel in g.edges} - set(RELATIONS)
+    )
+    return list(RELATIONS) + extra
+
+
 def batch_graphs(graphs: Sequence[ProgramGraph]) -> GraphBatch:
     """Concatenate graphs with node-index offsets."""
+    relations = batch_relations(graphs)
     node_texts: List[str] = []
     node_full_texts: List[str] = []
     node_types: List[int] = []
     graph_ids: List[np.ndarray] = []
-    edges: Dict[str, List[np.ndarray]] = {r: [] for r in RELATIONS}
-    positions: Dict[str, List[np.ndarray]] = {r: [] for r in RELATIONS}
+    edges: Dict[str, List[np.ndarray]] = {r: [] for r in relations}
+    positions: Dict[str, List[np.ndarray]] = {r: [] for r in relations}
 
     offset = 0
     for gi, g in enumerate(graphs):
@@ -74,7 +89,7 @@ def batch_graphs(graphs: Sequence[ProgramGraph]) -> GraphBatch:
         node_full_texts.extend(g.node_full_texts)
         node_types.extend(g.node_types)
         graph_ids.append(np.full(g.num_nodes, gi, dtype=np.int64))
-        for rel in RELATIONS:
+        for rel in relations:
             e = g.edges.get(rel)
             if e is not None and e.shape[1]:
                 edges[rel].append(e + offset)
@@ -83,7 +98,7 @@ def batch_graphs(graphs: Sequence[ProgramGraph]) -> GraphBatch:
 
     merged_edges = {}
     merged_pos = {}
-    for rel in RELATIONS:
+    for rel in relations:
         if edges[rel]:
             merged_edges[rel] = np.concatenate(edges[rel], axis=1)
             merged_pos[rel] = np.concatenate(positions[rel])

@@ -9,6 +9,11 @@ with operand ``position``), and **call** (call site → callee entry, returns
 * ``text`` — the opcode / type only (the ProGraML default feature),
 * ``full_text`` — the complete printed instruction (the richer feature
   GraphBinMatch found superior; Table VIII ablates the two).
+
+With ``build_graph(..., dataflow=True)`` two *analysis-derived* relations
+join the three structural ones — **dataflow** (cross-block def→use chains)
+and **callsummary** (call site → interprocedural callee summary, a fourth
+node type) — computed by :mod:`repro.ir.analysis`; see ``docs/analysis.md``.
 """
 
 from __future__ import annotations
@@ -25,11 +30,24 @@ from repro.ir.types import VOID
 CONTROL = "control"
 DATA = "data"
 CALL = "call"
+#: The paper's three structural relations — what every graph carries.
 RELATIONS = (CONTROL, DATA, CALL)
+
+#: Analysis-derived relations, emitted only with ``build_graph(dataflow=True)``:
+#: ``dataflow`` edges connect a definition directly to each *cross-block* use
+#: (the def→use chains that survive register renaming and block reordering);
+#: ``callsummary`` edges connect every call site to its callee's
+#: interprocedural summary node (mod/ref/purity — see
+#: :mod:`repro.ir.analysis.callgraph`).
+DATAFLOW = "dataflow"
+CALLSUMMARY = "callsummary"
+EXTENDED_RELATIONS = RELATIONS + (DATAFLOW, CALLSUMMARY)
 
 NODE_INSTRUCTION = 0
 NODE_VARIABLE = 1
 NODE_CONSTANT = 2
+#: Per-function summary nodes (one per called function, ``dataflow`` mode).
+NODE_SUMMARY = 3
 
 
 @dataclass
@@ -65,9 +83,9 @@ class ProgramGraph:
 
 
 class _GraphBuilder:
-    def __init__(self, name: str):  # noqa: D107
+    def __init__(self, name: str, relations: Tuple[str, ...] = RELATIONS):  # noqa: D107
         self.graph = ProgramGraph(name)
-        self._edge_lists: Dict[str, List[Tuple[int, int, int]]] = {r: [] for r in RELATIONS}
+        self._edge_lists: Dict[str, List[Tuple[int, int, int]]] = {r: [] for r in relations}
         self._const_nodes: Dict[Tuple[int, str], int] = {}
 
     def add_node(self, text: str, full_text: str, node_type: int) -> int:
@@ -101,9 +119,20 @@ class _GraphBuilder:
         return g
 
 
-def build_graph(module: Module, name: Optional[str] = None) -> ProgramGraph:
-    """Construct the heterogeneous graph for an IR module."""
-    b = _GraphBuilder(name or module.name)
+def build_graph(
+    module: Module, name: Optional[str] = None, *, dataflow: bool = False
+) -> ProgramGraph:
+    """Construct the heterogeneous graph for an IR module.
+
+    With ``dataflow=True`` the graph additionally carries the
+    analysis-derived ``dataflow`` and ``callsummary`` relations (plus
+    their summary nodes).  The three structural relations are built
+    identically either way — a ``dataflow`` graph restricted to
+    :data:`RELATIONS` is byte-for-byte the clean graph.
+    """
+    b = _GraphBuilder(
+        name or module.name, EXTENDED_RELATIONS if dataflow else RELATIONS
+    )
     b.graph.source_language = module.source_language
 
     instr_node: Dict[int, int] = {}
@@ -175,4 +204,49 @@ def build_graph(module: Module, name: Optional[str] = None) -> ProgramGraph:
                         b.add_edge(CALL, instr_node[id(instr)], fn_entry_node[callee], 0)
                         for r in fn_ret_nodes.get(callee, []):
                             b.add_edge(CALL, r, instr_node[id(instr)], 1)
+
+    if dataflow:
+        _add_analysis_edges(b, module, instr_node)
     return b.finish()
+
+
+def _add_analysis_edges(
+    b: _GraphBuilder, module: Module, instr_node: Dict[int, int]
+) -> None:
+    """Emit the ``dataflow`` and ``callsummary`` relations (pass 3).
+
+    ``dataflow`` edges are the cross-block def→use pairs of
+    :meth:`repro.ir.analysis.defuse.DefUseChains.cross_block_pairs` —
+    exactly the value flow the same-block operand (``data``) edges do not
+    already encode, deduplicated per (def, use).  ``callsummary`` edges
+    run from each call site to a per-callee summary node whose feature
+    string renders the interprocedural mod/ref/purity summary; summary
+    nodes are created lazily at the first call site, so node ids stay a
+    deterministic function of module traversal order.
+    """
+    from repro.ir.analysis.callgraph import CallGraph
+    from repro.ir.analysis.defuse import DefUseChains
+
+    summaries = CallGraph(module).summaries()
+    summary_node: Dict[str, int] = {}
+    for fn in module.defined_functions():
+        chains = DefUseChains.build(fn)
+        for def_instr, use_instr, pos in chains.cross_block_pairs():
+            b.add_edge(
+                DATAFLOW, instr_node[id(def_instr)], instr_node[id(use_instr)], pos
+            )
+        for instr in fn.instructions():
+            if instr.opcode != "call":
+                continue
+            callee = instr.extra.get("callee", "")
+            if not callee:
+                continue
+            if callee not in summary_node:
+                summ = summaries.get(callee)
+                text = (
+                    summ.describe()
+                    if summ is not None
+                    else f"summary @{callee} unknown calls=0"
+                )
+                summary_node[callee] = b.add_node("summary", text, NODE_SUMMARY)
+            b.add_edge(CALLSUMMARY, instr_node[id(instr)], summary_node[callee], 0)

@@ -36,6 +36,10 @@ def graph_to_arrays(graph: ProgramGraph, prefix: str = "") -> Dict[str, np.ndarr
     """
     rels = sorted(graph.edges)
     meta = {
+        # v2: analysis-derived relations (dataflow/callsummary) and the
+        # summary node type may appear; the decoder is schema-agnostic
+        # either way, so v1 archives still load.
+        "version": 2,
         "name": graph.name,
         "source_language": graph.source_language,
         "node_texts": graph.node_texts,

@@ -1,0 +1,66 @@
+"""Fixed-point dataflow analyses over the IR (see ``docs/analysis.md``).
+
+Layers, bottom to top:
+
+* :mod:`~repro.ir.analysis.cfg` — traversal orders, dominators,
+  dominance frontiers (pure graph algorithms),
+* :mod:`~repro.ir.analysis.dataflow` — the generic worklist solver with
+  :class:`ReachingDefinitions` and :class:`Liveness` instances,
+* :mod:`~repro.ir.analysis.defuse` — def-use / use-def chains and the
+  cross-block pairs the ``dataflow`` graph relation is built from,
+* :mod:`~repro.ir.analysis.callgraph` — the call graph with
+  interprocedural mod/ref/purity summaries (one fixpoint per SCC),
+* :mod:`~repro.ir.analysis.checks` — analysis-backed verification
+  findings consumed by :func:`repro.ir.verifier.verify_dataflow`.
+"""
+
+from repro.ir.analysis.callgraph import CallGraph, FunctionSummary, call_graph
+from repro.ir.analysis.cfg import (
+    DominatorTree,
+    dominance_frontiers,
+    immediate_dominators,
+    postorder,
+    reverse_postorder,
+)
+from repro.ir.analysis.checks import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    Finding,
+    analyze_function,
+    analyze_module,
+)
+from repro.ir.analysis.dataflow import (
+    DataflowAnalysis,
+    DataflowResult,
+    Liveness,
+    ReachingDefinitions,
+    liveness,
+    reaching_definitions,
+    solve,
+)
+from repro.ir.analysis.defuse import DefUseChains, Use
+
+__all__ = [
+    "CallGraph",
+    "DataflowAnalysis",
+    "DataflowResult",
+    "DefUseChains",
+    "DominatorTree",
+    "Finding",
+    "FunctionSummary",
+    "Liveness",
+    "ReachingDefinitions",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "Use",
+    "analyze_function",
+    "analyze_module",
+    "call_graph",
+    "dominance_frontiers",
+    "immediate_dominators",
+    "liveness",
+    "postorder",
+    "reaching_definitions",
+    "reverse_postorder",
+    "solve",
+]

@@ -1,0 +1,180 @@
+"""CFG utilities: traversal orders, dominators, dominance frontiers.
+
+Everything here is deterministic: traversals follow the successor order
+stored on each terminator, so two processes analyzing the same module
+produce identical orders, identical dominator trees and — downstream —
+bit-identical graph edges (the property ``bench_dataflow`` gates).
+
+Dominators use the Cooper–Harvey–Kennedy iterative algorithm ("A Simple,
+Fast Dominance Algorithm", 2001): intersection walks over postorder
+numbers, convergence in a handful of passes on reducible CFGs.  Only
+blocks reachable from the entry participate; unreachable blocks have no
+immediate dominator and dominate nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.ir.module import BasicBlock, Function
+
+
+def postorder(fn: Function) -> List[BasicBlock]:
+    """Reachable blocks in depth-first postorder (children before parents)."""
+    seen: Set[int] = set()
+    order: List[BasicBlock] = []
+    if not fn.blocks:
+        return order
+    # Iterative DFS with an explicit phase marker so successor order — and
+    # therefore the emitted order — matches the recursive formulation.
+    stack: List[tuple] = [(fn.entry, False)]
+    while stack:
+        block, expanded = stack.pop()
+        if expanded:
+            order.append(block)
+            continue
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        stack.append((block, True))
+        for succ in reversed(block.successors()):
+            if id(succ) not in seen:
+                stack.append((succ, False))
+    return order
+
+
+def reverse_postorder(fn: Function) -> List[BasicBlock]:
+    """Reachable blocks in reverse postorder (every block after its
+    forward-edge predecessors) — the canonical iteration order for forward
+    dataflow problems."""
+    return list(reversed(postorder(fn)))
+
+
+def immediate_dominators(fn: Function) -> Dict[BasicBlock, Optional[BasicBlock]]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry block maps to ``None``.  Unreachable blocks are absent.
+    """
+    po = postorder(fn)
+    if not po:
+        return {}
+    po_number = {id(b): i for i, b in enumerate(po)}
+    entry = fn.entry
+    preds = fn.predecessors()
+
+    idom: Dict[int, BasicBlock] = {id(entry): entry}
+
+    def intersect(a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while po_number[id(a)] < po_number[id(b)]:
+                a = idom[id(a)]
+            while po_number[id(b)] < po_number[id(a)]:
+                b = idom[id(b)]
+        return a
+
+    rpo = list(reversed(po))
+    changed = True
+    while changed:
+        changed = False
+        for block in rpo:
+            if block is entry:
+                continue
+            new_idom: Optional[BasicBlock] = None
+            for pred in preds[block]:
+                if id(pred) not in po_number:
+                    continue  # unreachable predecessor
+                if new_idom is None:
+                    if id(pred) in idom:
+                        new_idom = pred
+                elif id(pred) in idom:
+                    new_idom = intersect(pred, new_idom)
+            if new_idom is not None and idom.get(id(block)) is not new_idom:
+                idom[id(block)] = new_idom
+                changed = True
+
+    out: Dict[BasicBlock, Optional[BasicBlock]] = {entry: None}
+    for block in po:
+        if block is entry:
+            continue
+        out[block] = idom[id(block)]
+    return out
+
+
+class DominatorTree:
+    """Dominance queries over one function, built once and reused.
+
+    ``dominates(a, b)`` answers in O(1) via entry/exit interval numbering
+    of the dominator tree (a dominates b iff b's interval nests inside
+    a's).  Instruction-level queries refine block dominance with
+    within-block position, matching the LLVM verifier's definition: a
+    non-phi use is valid iff its definition *strictly* precedes it in the
+    same block, or the defining block strictly dominates the using block.
+    """
+
+    def __init__(self, fn: Function):  # noqa: D107
+        self.function = fn
+        self.idom = immediate_dominators(fn)
+        children: Dict[int, List[BasicBlock]] = {id(b): [] for b in self.idom}
+        for block, parent in self.idom.items():
+            if parent is not None:
+                children[id(parent)].append(block)
+        # Interval numbering by explicit DFS from the entry.
+        self._tin: Dict[int, int] = {}
+        self._tout: Dict[int, int] = {}
+        clock = 0
+        if fn.blocks:
+            stack: List[tuple] = [(fn.entry, False)]
+            while stack:
+                block, expanded = stack.pop()
+                if expanded:
+                    self._tout[id(block)] = clock
+                    clock += 1
+                    continue
+                self._tin[id(block)] = clock
+                clock += 1
+                stack.append((block, True))
+                for child in reversed(children[id(block)]):
+                    stack.append((child, False))
+
+    def reachable(self, block: BasicBlock) -> bool:
+        """True when ``block`` participates in the dominator tree."""
+        return id(block) in self._tin
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True when every entry→b path passes through ``a`` (reflexive)."""
+        if id(a) not in self._tin or id(b) not in self._tin:
+            return False
+        return (
+            self._tin[id(a)] <= self._tin[id(b)]
+            and self._tout[id(b)] <= self._tout[id(a)]
+        )
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """``dominates`` minus reflexivity."""
+        return a is not b and self.dominates(a, b)
+
+
+def dominance_frontiers(fn: Function) -> Dict[BasicBlock, List[BasicBlock]]:
+    """Map each reachable block to its dominance frontier.
+
+    Cooper–Harvey–Kennedy again: for a join block (≥2 reachable preds),
+    walk each predecessor's idom chain up to the block's own idom, adding
+    the join to every frontier passed.  Frontier lists are deterministic
+    (reverse-postorder of the join blocks, each frontier deduplicated in
+    first-seen order).
+    """
+    idom = immediate_dominators(fn)
+    frontiers: Dict[int, List[BasicBlock]] = {id(b): [] for b in idom}
+    preds = fn.predecessors()
+    for block in reverse_postorder(fn):
+        reachable_preds = [p for p in preds[block] if id(p) in frontiers]
+        if len(reachable_preds) < 2:
+            continue
+        for pred in reachable_preds:
+            runner: Optional[BasicBlock] = pred
+            while runner is not None and runner is not idom[block]:
+                bucket = frontiers[id(runner)]
+                if not any(b is block for b in bucket):
+                    bucket.append(block)
+                runner = idom[runner]
+    return {block: frontiers[id(block)] for block in idom}

@@ -1,0 +1,247 @@
+"""Analysis-backed IR checks: what the structural verifier cannot see.
+
+The structural verifier (:mod:`repro.ir.verifier`) checks shape — blocks
+terminate, operands stay inside the function, phis lead their block.
+These checks use the dataflow framework to judge *meaning*:
+
+* ``dominance``  — every non-phi use is dominated by its definition (phi
+  operands must dominate the *end* of their incoming block),
+* ``reaching``   — every use is delivered a value by the reaching-defs
+  fixpoint (catches uses only fed through impossible paths),
+* ``phi-arity``  — phi operand count equals incoming-block count, and the
+  incoming set covers exactly the reachable predecessors,
+* ``unreachable``— blocks no entry path reaches (warning: passes such as
+  simplifycfg legitimately leave these behind mid-pipeline).
+
+Errors are what :func:`repro.ir.verifier.verify_dataflow` raises on;
+warnings are reported by ``repro analyze`` but never fail a pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.analysis.cfg import DominatorTree
+from repro.ir.analysis.defuse import DefUseChains
+from repro.ir.module import BasicBlock, Function, Instruction, Module
+from repro.ir.types import VOID
+
+
+def instruction_label(instr: Instruction) -> str:
+    """``%uid = opcode`` for value producers, bare opcode otherwise."""
+    if instr.type != VOID:
+        return f"{instr.short()} = {instr.opcode}"
+    return instr.opcode
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verifier diagnosis, with enough coordinates to act on."""
+
+    severity: str
+    kind: str
+    function: str
+    block: str
+    instruction: str  # the offending instruction's short() spelling
+    message: str
+
+    def render(self) -> str:
+        """Human-readable one-liner (the CLI's text output)."""
+        return (
+            f"[{self.severity}] {self.kind}: {self.function}/{self.block} "
+            f"{self.instruction}: {self.message}"
+        )
+
+
+def _finding(
+    severity: str,
+    kind: str,
+    fn: Function,
+    block: BasicBlock,
+    instr: Instruction,
+    message: str,
+) -> Finding:
+    return Finding(
+        severity=severity,
+        kind=kind,
+        function=fn.name,
+        block=block.label,
+        instruction=instruction_label(instr),
+        message=message,
+    )
+
+
+def _dominance_findings(fn: Function, dom: DominatorTree) -> List[Finding]:
+    out: List[Finding] = []
+    position = {id(i): p for p, i in enumerate(fn.instructions())}
+    for blk in fn.blocks:
+        if not dom.reachable(blk):
+            continue
+        for instr in blk.instructions:
+            for pos, op in enumerate(instr.operands):
+                if not isinstance(op, Instruction) or op.parent is None:
+                    continue
+                if not dom.reachable(op.parent):
+                    # Defs in unreachable code dominate vacuously (LLVM's
+                    # rule): no entry path reaches the use through them,
+                    # and DCE/simplifycfg prune them later in the level.
+                    continue
+                if instr.opcode == "phi":
+                    incoming = instr.blocks[pos] if pos < len(instr.blocks) else None
+                    if incoming is None or not dom.reachable(incoming):
+                        continue  # arity findings cover this
+                    # The value must be available at the end of the
+                    # incoming block: def block dominates it.
+                    if not dom.dominates(op.parent, incoming):
+                        out.append(
+                            _finding(
+                                SEVERITY_ERROR,
+                                "dominance",
+                                fn,
+                                blk,
+                                instr,
+                                f"phi operand {op.short()} (def in "
+                                f"{op.parent.label}) does not dominate "
+                                f"incoming block {incoming.label}",
+                            )
+                        )
+                elif op.parent is blk:
+                    if position[id(op)] >= position[id(instr)]:
+                        out.append(
+                            _finding(
+                                SEVERITY_ERROR,
+                                "dominance",
+                                fn,
+                                blk,
+                                instr,
+                                f"use of {op.short()} before its definition "
+                                f"in the same block",
+                            )
+                        )
+                elif not dom.strictly_dominates(op.parent, blk):
+                    out.append(
+                        _finding(
+                            SEVERITY_ERROR,
+                            "dominance",
+                            fn,
+                            blk,
+                            instr,
+                            f"use of {op.short()} (def in {op.parent.label}) "
+                            f"not dominated by its definition",
+                        )
+                    )
+    return out
+
+
+def _phi_findings(fn: Function, dom: DominatorTree) -> List[Finding]:
+    out: List[Finding] = []
+    preds = fn.predecessors()
+    for blk in fn.blocks:
+        if not dom.reachable(blk):
+            continue
+        reachable_preds = {
+            id(p): p for p in preds[blk] if dom.reachable(p)
+        }
+        for phi in blk.phis():
+            if len(phi.operands) != len(phi.blocks):
+                out.append(
+                    _finding(
+                        SEVERITY_ERROR,
+                        "phi-arity",
+                        fn,
+                        blk,
+                        phi,
+                        f"{len(phi.operands)} operands but "
+                        f"{len(phi.blocks)} incoming blocks",
+                    )
+                )
+                continue
+            incoming = {id(b): b for b in phi.blocks}
+            missing = [
+                p.label
+                for i, p in reachable_preds.items()
+                if i not in incoming
+            ]
+            # Entries from unreachable blocks are dead, not wrong: passes
+            # (peel, mem2reg) leave them for simplifycfg/DCE to prune.
+            extra = [
+                b.label
+                for i, b in incoming.items()
+                if i not in reachable_preds and dom.reachable(b)
+            ]
+            if missing or extra:
+                detail = []
+                if missing:
+                    detail.append(f"missing incoming for {sorted(missing)}")
+                if extra:
+                    detail.append(f"spurious incoming from {sorted(extra)}")
+                out.append(
+                    _finding(
+                        SEVERITY_ERROR,
+                        "phi-arity",
+                        fn,
+                        blk,
+                        phi,
+                        "; ".join(detail),
+                    )
+                )
+    return out
+
+
+def analyze_function(fn: Function) -> List[Finding]:
+    """All findings for one defined function (empty for declarations)."""
+    if fn.is_declaration or not fn.blocks:
+        return []
+    dom = DominatorTree(fn)
+    out = _dominance_findings(fn, dom) + _phi_findings(fn, dom)
+    # Reaching-defs cross-check: a use no definition ever flows to.  The
+    # dominance pass already flags these on reachable paths, so only
+    # report ones dominance missed (defensive double-entry bookkeeping).
+    dominance_flagged = {
+        (f.block, f.instruction) for f in out if f.kind == "dominance"
+    }
+    chains = DefUseChains.build(fn)
+    for op, instr in chains.invalid_uses():
+        blk = instr.parent
+        if blk is None:
+            continue
+        key = (blk.label, instruction_label(instr))
+        if key in dominance_flagged:
+            continue
+        out.append(
+            _finding(
+                SEVERITY_ERROR,
+                "reaching",
+                fn,
+                blk,
+                instr,
+                f"no definition of {op.short()} reaches this use",
+            )
+        )
+    reachable = fn.reachable_blocks()
+    for blk in fn.blocks:
+        if blk in reachable or not blk.instructions:
+            continue
+        out.append(
+            _finding(
+                SEVERITY_WARNING,
+                "unreachable",
+                fn,
+                blk,
+                blk.instructions[0],
+                "block is unreachable from the entry",
+            )
+        )
+    return out
+
+
+def analyze_module(module: Module) -> List[Finding]:
+    """Findings for every defined function, in module order."""
+    out: List[Finding] = []
+    for fn in module.defined_functions():
+        out.extend(analyze_function(fn))
+    return out

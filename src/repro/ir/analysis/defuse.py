@@ -1,0 +1,134 @@
+"""Def-use / use-def chains, derived from (and validated by) reaching defs.
+
+The chains themselves come from the operand graph — the IR stores direct
+:class:`~repro.ir.module.Value` references, so collecting users is one
+deterministic scan in block/instruction order.  What reaching definitions
+adds is *validation*: a use whose definition does not reach it (per the
+fixpoint) is exactly the "use before def" class of malformed IR, which
+:func:`repro.ir.analysis.checks.analyze_function` reports and the graph
+builder must never emit an edge for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.ir.analysis.dataflow import reaching_definitions
+from repro.ir.module import Argument, Function, Instruction, Value
+from repro.ir.types import VOID
+
+
+@dataclass(frozen=True)
+class Use:
+    """One operand slot: ``user.operands[position] is value``."""
+
+    user: Instruction
+    position: int
+
+
+@dataclass
+class DefUseChains:
+    """Both chain directions for one function.
+
+    ``users[def]`` lists every use of a definition in block/instruction
+    order (the order is what makes downstream edge emission bit-stable);
+    ``defs[use]`` is the single defining value of each SSA use.  Keys are
+    object ids because :class:`Value` hashing is identity anyway and the
+    ids never escape this structure.
+    """
+
+    function: Function
+    _users: Dict[int, List[Use]] = field(default_factory=dict)
+    _values: Dict[int, Value] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, fn: Function) -> "DefUseChains":
+        """Scan ``fn`` and collect chains for instructions and arguments."""
+        chains = cls(fn)
+        for arg in fn.args:
+            chains._values[id(arg)] = arg
+            chains._users[id(arg)] = []
+        for instr in fn.instructions():
+            chains._values[id(instr)] = instr
+            chains._users.setdefault(id(instr), [])
+        for instr in fn.instructions():
+            for pos, op in enumerate(instr.operands):
+                if isinstance(op, (Instruction, Argument)) and id(op) in chains._users:
+                    chains._users[id(op)].append(Use(instr, pos))
+        return chains
+
+    def users(self, value: Value) -> List[Use]:
+        """Every use of ``value`` inside this function, in program order."""
+        return list(self._users.get(id(value), []))
+
+    def definitions(self) -> Iterator[Value]:
+        """All values with chains (arguments first, then instructions)."""
+        return iter(self._values.values())
+
+    def cross_block_pairs(self) -> List[Tuple[Instruction, Instruction, int]]:
+        """Deduplicated (def, use, operand-position) pairs spanning blocks.
+
+        These are the ``dataflow`` graph edges: def→use relationships the
+        same-block operand edges do not already encode.  A (def, use) pair
+        appears once even when the use reads the value in several operand
+        slots — the recorded position is the first.  Phi uses count as
+        cross-block when the *incoming block* differs from the def's block,
+        since that is where the value actually flows in from.
+        """
+        pairs: List[Tuple[Instruction, Instruction, int]] = []
+        seen: set = set()
+        for instr in self.function.instructions():
+            for pos, op in enumerate(instr.operands):
+                if not isinstance(op, Instruction):
+                    continue
+                if op.parent is None or instr.parent is None:
+                    continue
+                if instr.opcode == "phi":
+                    incoming = instr.blocks[pos] if pos < len(instr.blocks) else None
+                    crosses = incoming is not op.parent
+                else:
+                    crosses = op.parent is not instr.parent
+                if not crosses:
+                    continue
+                key = (op.uid, instr.uid)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pairs.append((op, instr, pos))
+        return pairs
+
+    def invalid_uses(self) -> List[Tuple[Instruction, Instruction]]:
+        """(def, use) pairs the reaching-defs fixpoint says cannot happen.
+
+        For a non-phi use in block B, the def must reach B's entry or be
+        an earlier instruction of B itself; for a phi use, the def must
+        reach the *exit* of the named incoming block.  Anything else is a
+        use the dataflow semantics never deliver a value to.
+        """
+        _, result = reaching_definitions(self.function)
+        bad: List[Tuple[Instruction, Instruction]] = []
+        for blk in self.function.blocks:
+            if id(blk) not in result.block_in and blk is not self.function.entry:
+                continue  # unreachable: no dataflow judgement
+            earlier: set = set()
+            for instr in blk.instructions:
+                for pos, op in enumerate(instr.operands):
+                    if not isinstance(op, Instruction) or op.type == VOID:
+                        continue
+                    if op.parent is not None and (
+                        id(op.parent) not in result.block_in
+                        and op.parent is not self.function.entry
+                    ):
+                        continue  # def in unreachable code: vacuously fine
+                    if instr.opcode == "phi":
+                        incoming = instr.blocks[pos] if pos < len(instr.blocks) else None
+                        if incoming is None or id(incoming) not in result.block_out:
+                            continue  # arity/unreachable issues are reported elsewhere
+                        if op.uid not in result.out_of(incoming):
+                            bad.append((op, instr))
+                    elif op.uid not in result.in_of(blk) and op.uid not in earlier:
+                        bad.append((op, instr))
+                if instr.type != VOID:
+                    earlier.add(instr.uid)
+        return bad

@@ -1,8 +1,22 @@
-"""Structural IR verifier.
+"""IR verifier: structural invariants plus analysis-backed checks.
 
-Checks the invariants every pass must preserve; tests run it after each
-pipeline stage so a broken transformation fails loudly instead of producing
-subtly-wrong graphs for the model.
+Two layers, both raising :class:`VerificationError` with the function
+name, block label, and offending instruction's ``short()`` spelling —
+so a failure deep in the staged pipeline names the exact instruction to
+look at:
+
+* :func:`verify_module` / :func:`verify_function` — *structural* shape:
+  blocks terminate, phis lead their block, operands stay inside the
+  function, branch targets exist.  Cheap; tests run it after each
+  pipeline stage.
+* :func:`verify_dataflow` — *semantic* checks backed by the analysis
+  framework (:mod:`repro.ir.analysis`): every non-phi use dominated by
+  its definition, phi arity matching the reachable predecessors, uses
+  the reaching-definitions fixpoint never delivers a value to.  This is
+  what the pass pipeline runs after every optimization / transform pass
+  under the ``verify`` debug flag.
+
+:func:`verify_all` composes both.
 """
 
 from __future__ import annotations
@@ -24,6 +38,16 @@ class VerificationError(ValueError):
     """Raised when a module violates an IR invariant."""
 
 
+def _instr_label(instr: Instruction) -> str:
+    if instr.type != VOID:
+        return f"{instr.short()} = {instr.opcode}"
+    return instr.opcode
+
+
+def _where(fn: Function, blk: BasicBlock, instr: Instruction) -> str:
+    return f"{fn.name}/{blk.label}: [{_instr_label(instr)}]"
+
+
 def verify_function(fn: Function) -> None:
     """Check one function's structural invariants."""
     if fn.is_declaration:
@@ -34,30 +58,32 @@ def verify_function(fn: Function) -> None:
         raise VerificationError(f"{fn.name}: definition without blocks")
 
     all_blocks = set(fn.blocks)
-    defined: set = set(id(a) for a in fn.args)
     for blk in fn.blocks:
         if not blk.instructions:
             raise VerificationError(f"{fn.name}/{blk.label}: empty block")
         term = blk.instructions[-1]
         if not term.is_terminator:
-            raise VerificationError(f"{fn.name}/{blk.label}: missing terminator")
+            raise VerificationError(
+                f"{_where(fn, blk, term)}: block does not end in a terminator"
+            )
         for pos, instr in enumerate(blk.instructions):
             if instr.is_terminator and pos != len(blk.instructions) - 1:
                 raise VerificationError(
-                    f"{fn.name}/{blk.label}: terminator mid-block"
+                    f"{_where(fn, blk, instr)}: terminator mid-block"
                 )
             if instr.opcode == "phi" and pos > 0:
                 prev = blk.instructions[pos - 1]
                 if prev.opcode != "phi":
                     raise VerificationError(
-                        f"{fn.name}/{blk.label}: phi after non-phi"
+                        f"{_where(fn, blk, instr)}: phi after non-phi "
+                        f"[{_instr_label(prev)}]"
                     )
             for target in instr.blocks:
                 if instr.opcode != "phi" and target not in all_blocks:
                     raise VerificationError(
-                        f"{fn.name}/{blk.label}: branch to foreign block {target.label}"
+                        f"{_where(fn, blk, instr)}: branch to foreign block "
+                        f"{target.label}"
                     )
-            defined.add(id(instr))
 
     # Every operand must be a constant, argument, or instruction of this fn.
     instr_ids = {id(i) for i in fn.instructions()} | {id(a) for a in fn.args}
@@ -68,11 +94,11 @@ def verify_function(fn: Function) -> None:
                     continue
                 if id(op) not in instr_ids:
                     raise VerificationError(
-                        f"{fn.name}/{blk.label}: {instr.opcode} uses a value "
-                        f"from outside the function: {op!r}"
+                        f"{_where(fn, blk, instr)}: operand {op.short()} is "
+                        f"defined outside the function: {op!r}"
                     )
 
-    # Phi incoming blocks must be actual predecessors.
+    # Phi incoming blocks must cover the reachable predecessors.
     preds = fn.predecessors()
     reachable = fn.reachable_blocks()
     for blk in fn.blocks:
@@ -82,9 +108,9 @@ def verify_function(fn: Function) -> None:
         for phi in blk.phis():
             incoming = set(phi.blocks)
             if not pred_set.issubset(incoming):
-                missing = [p.label for p in pred_set - incoming]
+                missing = sorted(p.label for p in pred_set - incoming)
                 raise VerificationError(
-                    f"{fn.name}/{blk.label}: phi missing incoming for {missing}"
+                    f"{_where(fn, blk, phi)}: phi missing incoming for {missing}"
                 )
 
 
@@ -92,9 +118,42 @@ def verify_module(module: Module) -> None:
     """Verify every function plus module-level invariants."""
     names = [f.name for f in module.functions]
     if len(names) != len(set(names)):
-        raise VerificationError("duplicate function names")
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise VerificationError(f"duplicate function names: {dupes}")
     for fn in module.functions:
         verify_function(fn)
+
+
+def verify_dataflow(module: Module) -> None:
+    """Raise on the first error-severity analysis finding.
+
+    Runs the dominance / reaching-defs / phi-arity checks of
+    :mod:`repro.ir.analysis.checks`; warnings (e.g. unreachable blocks,
+    which passes legitimately create mid-pipeline) do not raise.
+    """
+    from repro.ir.analysis.checks import SEVERITY_ERROR, analyze_module
+
+    for finding in analyze_module(module):
+        if finding.severity == SEVERITY_ERROR:
+            raise VerificationError(
+                f"{finding.function}/{finding.block}: "
+                f"[{finding.instruction}]: {finding.kind}: {finding.message}"
+            )
+
+
+def verify_all(module: Module, context: str = "") -> None:
+    """Structural + dataflow verification, with optional failure context.
+
+    ``context`` names what just ran (a pass or transform); it prefixes
+    the error message so a pipeline failure reads "after pass X: ...".
+    """
+    try:
+        verify_module(module)
+        verify_dataflow(module)
+    except VerificationError as exc:
+        if context:
+            raise VerificationError(f"{context}: {exc}") from exc
+        raise
 
 
 def collect_callees(module: Module) -> List[str]:

@@ -25,6 +25,7 @@ processes near-free.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -35,6 +36,7 @@ from repro.graphs.programl import ProgramGraph, build_graph
 from repro.ir.lowering import lower_program
 from repro.ir.module import Module
 from repro.ir.passes import optimize
+from repro.ir.verifier import verify_all
 from repro.lang.minic import parse_minic
 from repro.lang.minicpp import parse_minicpp
 from repro.lang.minijava import parse_minijava
@@ -44,7 +46,9 @@ from repro.utils.timing import Timer
 #: Bump when any stage's observable output changes; part of every artifact
 #: key, so stale cache entries from an older pipeline never hit.
 #: staged-2: the optional ``transform`` stage and transform-qualified keys.
-PIPELINE_VERSION = "staged-2"
+#: staged-3: analysis-derived graph relations (``dataflow``/``callsummary``)
+#: and feature-qualified keys (``ArtifactKey.graph_features``).
+PIPELINE_VERSION = "staged-3"
 
 STAGE_PARSE = "parse"
 STAGE_LOWER = "lower"
@@ -160,6 +164,17 @@ class CompilationPipeline:
         rewrite the linked program inside ``codegen`` before encoding.
         The source-side view is never transformed — the robustness
         question is how *binaries* drift from clean sources.
+    dataflow_edges:
+        Emit the analysis-derived ``dataflow`` and ``callsummary`` graph
+        relations (see :mod:`repro.ir.analysis`) in the ``graph`` stage.
+        Off by default — the clean three-relation graphs stay
+        byte-identical to earlier pipelines.  Cache keys must carry the
+        matching :attr:`ArtifactKey.graph_features` qualifier.
+    verify_passes:
+        Debug flag: run the full IR verifier (structural + dataflow)
+        after *every* optimization and transform pass, attributing any
+        violation to the pass that introduced it.  ``None`` (default)
+        reads the ``REPRO_VERIFY_PASSES`` environment variable.
     """
 
     version = PIPELINE_VERSION
@@ -170,11 +185,22 @@ class CompilationPipeline:
         timer: Optional[Timer] = None,
         fail_stage: Optional[str] = None,
         transforms: TransformChain = None,
+        dataflow_edges: bool = False,
+        verify_passes: Optional[bool] = None,
     ):  # noqa: D107
         self.store = store
         self.timer = timer or Timer()
         self.fail_stage = fail_stage
         self.transforms = normalize_transforms(transforms)
+        self.dataflow_edges = dataflow_edges
+        if verify_passes is None:
+            verify_passes = os.environ.get("REPRO_VERIFY_PASSES", "") not in ("", "0")
+        self.verify_passes = verify_passes
+
+    @property
+    def graph_features(self) -> str:
+        """The :attr:`ArtifactKey.graph_features` value this pipeline produces."""
+        return "dataflow" if self.dataflow_edges else ""
 
     @staticmethod
     def _check_language(language: str, program) -> None:
@@ -214,7 +240,7 @@ class CompilationPipeline:
         result.binary_module = lower_program(result.program, name=result.name + ".bin")
 
     def _optimize(self, result: CompilationResult) -> None:
-        optimize(result.binary_module, result.opt_level)
+        optimize(result.binary_module, result.opt_level, verify=self.verify_passes)
 
     def _transform(self, result: CompilationResult, specs: Sequence[TransformSpec]) -> None:
         # IR-level transforms only touch the *binary-side* module: the
@@ -224,6 +250,10 @@ class CompilationPipeline:
             spec.transform.apply_ir(
                 result.binary_module, spec.rng(result.name), spec.intensity
             )
+            if self.verify_passes:
+                verify_all(
+                    result.binary_module, context=f"after transform {spec.spec!r}"
+                )
 
     def _codegen(self, result: CompilationResult, specs: Sequence[TransformSpec] = ()) -> None:
         program = compile_module(result.binary_module, style=result.compiler)
@@ -239,9 +269,13 @@ class CompilationPipeline:
         )
 
     def _graph(self, result: CompilationResult) -> None:
-        result.source_graph = build_graph(result.source_module, name=result.name)
+        result.source_graph = build_graph(
+            result.source_module, name=result.name, dataflow=self.dataflow_edges
+        )
         result.decompiled_graph = build_graph(
-            result.decompiled_module, name=result.name + ".dec"
+            result.decompiled_module,
+            name=result.name + ".dec",
+            dataflow=self.dataflow_edges,
         )
 
     # ------------------------------------------------------------ running
@@ -285,6 +319,13 @@ class CompilationPipeline:
                     f"cache_key names transform chain {key_chain!r} but this "
                     f"compile applies {chain_id(chain)!r}; qualify the key "
                     "with the same chain"
+                )
+            key_features = getattr(cache_key, "graph_features", None)
+            if key_features is not None and key_features != self.graph_features:
+                raise ValueError(
+                    f"cache_key names graph features {key_features!r} but this "
+                    f"pipeline emits {self.graph_features!r}; qualify the key "
+                    "with the same features"
                 )
         if cache_lookup and cache_key is not None and self.store is not None:
             start = time.perf_counter()
@@ -340,7 +381,9 @@ class CompilationPipeline:
         self._run_stage(STAGE_LOWER, result, lower_source_only)
 
         def graph_source_only() -> None:
-            result.source_graph = build_graph(result.source_module, name=name)
+            result.source_graph = build_graph(
+                result.source_module, name=name, dataflow=self.dataflow_edges
+            )
 
         self._run_stage(STAGE_GRAPH, result, graph_source_only)
         return result.source_graph
@@ -350,4 +393,4 @@ class CompilationPipeline:
         with self.timer.span(STAGE_DECOMPILE):
             module = decompile_bytes(raw, name)
         with self.timer.span(STAGE_GRAPH):
-            return build_graph(module, name=name)
+            return build_graph(module, name=name, dataflow=self.dataflow_edges)

@@ -56,6 +56,36 @@ class TestGenerateCommand:
             main(["generate", "not_a_task"])
 
 
+class TestAnalyzeCommand:
+    def test_text_report(self, capsys):
+        assert main(["analyze", "gcd", "--opt-level", "O2"]) == 0
+        out = capsys.readouterr().out
+        assert "gcd/v0.c @ O2" in out
+        assert "cross-block def-use edges" in out
+        assert "live-in" in out
+        assert "summary @gcd" in out
+        assert "verifier findings: 0" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["analyze", "gcd", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["module"] == "gcd/v0.c"
+        assert report["findings"] == []
+        assert {f["name"] for f in report["functions"]} >= {"gcd", "main"}
+        assert report["summaries"]["printf"]["defined"] is False
+
+    def test_function_filter(self, capsys):
+        assert main(["analyze", "gcd", "--function", "gcd"]) == 0
+        out = capsys.readouterr().out
+        assert "@gcd:" in out and "@main:" not in out
+
+    def test_unknown_function_errors(self, capsys):
+        assert main(["analyze", "gcd", "--function", "nope"]) == 1
+        assert "no defined function" in capsys.readouterr().err
+
+
 class TestTrainEvaluateRetrieve:
     """End-to-end CLI pipeline at minimum scale (one tiny model)."""
 

@@ -1,0 +1,409 @@
+"""Tests for the static-analysis framework (``repro.ir.analysis``).
+
+Covers the CFG utilities (orders, dominators, frontiers), the worklist
+solver's two instances (reaching definitions with genuine GEN/KILL,
+liveness with phi-to-edge attribution), def-use chains, the
+interprocedural call-graph summaries, and the verifier integration —
+including the malformed-IR classes that must each raise a descriptive
+:class:`VerificationError` naming function, block, and instruction.
+"""
+
+import pytest
+
+from repro.ir.analysis import (
+    CallGraph,
+    DefUseChains,
+    DominatorTree,
+    analyze_module,
+    dominance_frontiers,
+    immediate_dominators,
+    liveness,
+    postorder,
+    reaching_definitions,
+    reverse_postorder,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.lowering import lower_program
+from repro.ir.module import Function, Module
+from repro.ir.passes import optimize
+from repro.ir.types import I32
+from repro.ir.verifier import (
+    VerificationError,
+    verify_all,
+    verify_dataflow,
+    verify_module,
+)
+from repro.lang.generator import SolutionGenerator
+from repro.lang.minic import parse_minic
+
+
+def diamond():
+    """entry → (left | right) → merge, phi at the join."""
+    fn = Function("f", [I32], ["x"], I32)
+    entry = fn.new_block("entry")
+    left = fn.new_block("left")
+    right = fn.new_block("right")
+    merge = fn.new_block("merge")
+    b = IRBuilder(entry)
+    pre = b.add(fn.args[0], b.const(10))
+    cond = b.icmp("sgt", fn.args[0], b.const(0))
+    b.condbr(cond, left, right)
+    b.position(left)
+    l = b.add(fn.args[0], b.const(1))
+    b.br(merge)
+    b.position(right)
+    r = b.sub(fn.args[0], b.const(1))
+    b.br(merge)
+    b.position(merge)
+    p = b.phi(I32, [(l, left), (r, right)])
+    total = b.add(p, pre)  # cross-block use of the entry def
+    b.ret(total)
+    return fn, dict(entry=entry, left=left, right=right, merge=merge), dict(
+        pre=pre, cond=cond, l=l, r=r, p=p, total=total
+    )
+
+
+def loop():
+    """entry → header ⇄ body, header → exit; loop-carried phi."""
+    fn = Function("loop", [I32], ["n"], I32)
+    entry = fn.new_block("entry")
+    header = fn.new_block("header")
+    body = fn.new_block("body")
+    exit_ = fn.new_block("exit")
+    b = IRBuilder(entry)
+    b.br(header)
+    b.position(header)
+    i = b.phi(I32)
+    cond = b.icmp("slt", i, fn.args[0])
+    b.condbr(cond, body, exit_)
+    b.position(body)
+    nxt = b.add(i, b.const(1))
+    b.br(header)
+    i.operands = [b.const(0), nxt]
+    i.blocks = [entry, body]
+    b.position(exit_)
+    b.ret(i)
+    return fn, dict(entry=entry, header=header, body=body, exit=exit_), dict(
+        i=i, cond=cond, nxt=nxt
+    )
+
+
+class TestCFG:
+    def test_orders_cover_reachable_blocks(self):
+        fn, blocks, _ = diamond()
+        rpo = reverse_postorder(fn)
+        assert rpo[0] is blocks["entry"]
+        assert rpo[-1] is blocks["merge"]
+        assert list(reversed(postorder(fn))) == rpo
+        assert set(rpo) == set(blocks.values())
+
+    def test_unreachable_blocks_excluded(self):
+        fn, blocks, _ = diamond()
+        dead = fn.new_block("dead")
+        IRBuilder(dead).ret(IRBuilder.const(0))
+        assert dead not in set(postorder(fn))
+        assert dead not in immediate_dominators(fn)
+        assert not DominatorTree(fn).reachable(dead)
+
+    def test_immediate_dominators(self):
+        fn, blocks, _ = diamond()
+        idom = immediate_dominators(fn)
+        assert idom[blocks["entry"]] is None
+        assert idom[blocks["left"]] is blocks["entry"]
+        assert idom[blocks["right"]] is blocks["entry"]
+        # The join is dominated by the branch point, not either arm.
+        assert idom[blocks["merge"]] is blocks["entry"]
+
+    def test_dominator_tree_queries(self):
+        fn, blocks, _ = diamond()
+        dom = DominatorTree(fn)
+        assert dom.dominates(blocks["entry"], blocks["merge"])
+        assert dom.dominates(blocks["merge"], blocks["merge"])
+        assert not dom.strictly_dominates(blocks["merge"], blocks["merge"])
+        assert not dom.dominates(blocks["left"], blocks["merge"])
+
+    def test_dominance_frontiers_diamond(self):
+        fn, blocks, _ = diamond()
+        df = dominance_frontiers(fn)
+        assert df[blocks["left"]] == [blocks["merge"]]
+        assert df[blocks["right"]] == [blocks["merge"]]
+        assert df[blocks["entry"]] == []
+
+    def test_dominance_frontiers_loop(self):
+        fn, blocks, _ = loop()
+        df = dominance_frontiers(fn)
+        # The back edge puts the header in its own frontier (and the body's).
+        assert df[blocks["body"]] == [blocks["header"]]
+        assert blocks["header"] in df[blocks["header"]]
+
+
+class TestReachingDefinitions:
+    def _store_chain(self):
+        """entry stores 1, mid stores 2 to the same slot, exit loads."""
+        fn = Function("g", [], [], I32)
+        entry = fn.new_block("entry")
+        mid = fn.new_block("mid")
+        exit_ = fn.new_block("exit")
+        b = IRBuilder(entry)
+        slot = b.alloca(I32)
+        s1 = b.store(b.const(1), slot)
+        b.br(mid)
+        b.position(mid)
+        s2 = b.store(b.const(2), slot)
+        b.br(exit_)
+        b.position(exit_)
+        b.load(slot)
+        b.ret(b.const(0))
+        return fn, exit_, s1, s2
+
+    def test_store_kills_previous_store(self):
+        fn, exit_, s1, s2 = self._store_chain()
+        _, result = reaching_definitions(fn)
+        assert s2.uid in result.in_of(exit_)
+        assert s1.uid not in result.in_of(exit_)
+
+    def test_may_join_keeps_both_branch_stores(self):
+        fn = Function("h", [I32], ["x"], I32)
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        right = fn.new_block("right")
+        merge = fn.new_block("merge")
+        b = IRBuilder(entry)
+        slot = b.alloca(I32)
+        cond = b.icmp("sgt", fn.args[0], b.const(0))
+        b.condbr(cond, left, right)
+        b.position(left)
+        s1 = b.store(b.const(1), slot)
+        b.br(merge)
+        b.position(right)
+        s2 = b.store(b.const(2), slot)
+        b.br(merge)
+        b.position(merge)
+        b.load(slot)
+        b.ret(b.const(0))
+        _, result = reaching_definitions(fn)
+        assert {s1.uid, s2.uid} <= result.in_of(merge)
+
+    def test_loop_reaches_fixpoint(self):
+        fn, blocks, vals = loop()
+        _, result = reaching_definitions(fn)
+        # The loop-carried increment reaches the header from the back edge.
+        assert vals["nxt"].uid in result.in_of(blocks["header"])
+        assert result.iterations >= 2
+
+
+class TestLiveness:
+    def test_phi_operands_live_on_incoming_edge(self):
+        fn, blocks, vals = diamond()
+        analysis, result = liveness(fn)
+        assert vals["l"].uid in result.out_of(blocks["left"])
+        assert vals["r"].uid in result.out_of(blocks["right"])
+        # Each arm's value is live only out of its own edge.
+        assert vals["l"].uid not in result.out_of(blocks["right"])
+        # The phi's uses do not leak into its own block's live-in.
+        assert vals["l"].uid not in result.in_of(blocks["merge"])
+
+    def test_argument_tokens(self):
+        fn, blocks, _ = diamond()
+        _, result = liveness(fn)
+        assert ("arg", 0) in result.in_of(blocks["entry"])
+        assert ("arg", 0) not in result.in_of(blocks["merge"])
+
+    def test_defs_killed_at_definition(self):
+        fn, blocks, vals = diamond()
+        _, result = liveness(fn)
+        # pre is defined in entry, so it is live out of entry but not in.
+        assert vals["pre"].uid in result.out_of(blocks["entry"])
+        assert vals["pre"].uid not in result.in_of(blocks["entry"])
+
+    def test_reporting_order_is_deterministic(self):
+        fn, blocks, _ = diamond()
+        analysis, result = liveness(fn)
+        tokens = analysis.live_in(result, blocks["entry"])
+        assert tokens == tuple(sorted(result.in_of(blocks["entry"]), key=repr))
+
+
+class TestDefUseChains:
+    def test_users_in_program_order(self):
+        fn, _, vals = diamond()
+        chains = DefUseChains.build(fn)
+        users = chains.users(fn.args[0])
+        assert [u.user for u in users] == [vals["pre"], vals["cond"], vals["l"], vals["r"]]
+
+    def test_cross_block_pairs(self):
+        fn, _, vals = diamond()
+        pairs = DefUseChains.build(fn).cross_block_pairs()
+        # pre (entry) → total (merge) crosses; the phi reads l/r along their
+        # own defining edges, so those do not.
+        assert [(d, u) for d, u, _ in pairs] == [(vals["pre"], vals["total"])]
+
+    def test_phi_crossing_uses_incoming_block(self):
+        fn, blocks, vals = loop()
+        # Rewire the phi so the entry-defined constant slot becomes an
+        # instruction flowing around the back edge: i = phi [t, entry], [t, body].
+        b = IRBuilder(blocks["entry"])
+        blocks["entry"].instructions.pop()  # drop the old terminator
+        t = b.add(fn.args[0], b.const(0))
+        b.br(blocks["header"])
+        vals["i"].operands = [t, t]
+        vals["i"].blocks = [blocks["entry"], blocks["body"]]
+        blocks["body"].instructions.remove(vals["nxt"])
+        pairs = DefUseChains.build(fn).cross_block_pairs()
+        # The entry-edge occurrence of t does not cross (incoming == def
+        # block); the body-edge one does, recorded at its operand slot.
+        # i itself flows header → exit into the ret.
+        ret = blocks["exit"].instructions[-1]
+        assert [(d, u, pos) for d, u, pos in pairs] == [
+            (t, vals["i"], 1),
+            (vals["i"], ret, 0),
+        ]
+
+    def test_invalid_uses_empty_on_well_formed(self):
+        fn, _, _ = diamond()
+        assert DefUseChains.build(fn).invalid_uses() == []
+
+
+class TestCallGraph:
+    def _module(self):
+        src = (
+            "int leaf(int x) { return x * 3 + 1; } "
+            "int reader(int* p) { return p[0] + leaf(2); } "
+            'int main() { int a[] = {7}; printf("%d\\n", reader(a)); return 0; }'
+        )
+        module = lower_program(parse_minic(src))
+        # O1 promotes the front-end's local allocas; what remains is each
+        # function's *real* memory behaviour (no inlining at O1).
+        optimize(module, "O1")
+        return module
+
+    def test_local_summaries(self):
+        summaries = CallGraph(self._module()).summaries()
+        assert summaries["leaf"].pure
+        assert summaries["reader"].reads_memory
+        assert not summaries["leaf"].writes_memory
+
+    def test_interprocedural_propagation(self):
+        summaries = CallGraph(self._module()).summaries()
+        # main inherits reader's read and printf's externality.
+        assert summaries["main"].reads_memory
+        assert summaries["main"].calls_external
+        assert "leaf" in summaries["main"].may_call
+
+    def test_scc_mutual_recursion(self):
+        module = Module("m")
+        for name in ("a", "b"):
+            fn = module.add(Function(name, [I32], ["x"], I32))
+            blk = fn.new_block("entry")
+            b = IRBuilder(blk)
+            callee = "b" if name == "a" else "a"
+            b.ret(b.call(callee, [fn.args[0]], I32))
+        cg = CallGraph(module)
+        assert ["a", "b"] in cg.sccs()
+        summaries = cg.summaries()
+        # The cycle converges: both are pure, each may call the other.
+        assert summaries["a"].pure and summaries["b"].pure
+        assert summaries["a"].may_call == frozenset({"b"})
+        assert summaries["b"].may_call == frozenset({"a"})
+
+    def test_describe_is_stable(self):
+        summaries = CallGraph(self._module()).summaries()
+        assert summaries["leaf"].describe() == "summary @leaf pure calls=0"
+
+
+class TestMalformedIR:
+    def test_use_not_dominated_by_def(self):
+        fn = Function("f", [I32], ["x"], I32)
+        entry = fn.new_block("entry")
+        left = fn.new_block("left")
+        merge = fn.new_block("merge")
+        b = IRBuilder(entry)
+        cond = b.icmp("sgt", fn.args[0], b.const(0))
+        b.condbr(cond, left, merge)
+        b.position(left)
+        v = b.add(fn.args[0], b.const(1))
+        b.br(merge)
+        b.position(merge)
+        bad = b.add(v, b.const(1))  # v does not dominate merge
+        b.ret(bad)
+        module = Module("m")
+        module.add(fn)
+        with pytest.raises(VerificationError) as exc:
+            verify_dataflow(module)
+        msg = str(exc.value)
+        assert "f/merge" in msg and bad.short() in msg and "dominate" in msg
+
+    def test_phi_operand_count_mismatch(self):
+        fn, blocks, vals = diamond()
+        vals["p"].operands = vals["p"].operands[:1]  # 1 value, 2 blocks
+        module = Module("m")
+        module.add(fn)
+        with pytest.raises(VerificationError) as exc:
+            verify_dataflow(module)
+        msg = str(exc.value)
+        assert "f/merge" in msg and vals["p"].short() in msg
+
+    def test_phi_missing_reachable_predecessor(self):
+        fn, blocks, vals = diamond()
+        vals["p"].operands = [vals["l"]]
+        vals["p"].blocks = [blocks["left"]]  # right is a reachable pred
+        module = Module("m")
+        module.add(fn)
+        with pytest.raises(VerificationError, match="missing incoming"):
+            verify_module(module)
+
+    def test_terminatorless_block(self):
+        fn = Function("f", [I32], ["x"], I32)
+        entry = fn.new_block("entry")
+        b = IRBuilder(entry)
+        last = b.add(fn.args[0], b.const(1))
+        module = Module("m")
+        module.add(fn)
+        with pytest.raises(VerificationError) as exc:
+            verify_module(module)
+        msg = str(exc.value)
+        assert "f/entry" in msg and last.short() in msg and "terminator" in msg
+
+    def test_cross_function_operand_leakage(self):
+        module = Module("m")
+        donor = module.add(Function("donor", [I32], ["x"], I32))
+        b = IRBuilder(donor.new_block("entry"))
+        foreign = b.add(donor.args[0], b.const(1))
+        b.ret(foreign)
+        thief = module.add(Function("thief", [], [], I32))
+        blk = thief.new_block("entry")
+        b = IRBuilder(blk)
+        bad = b.add(foreign, b.const(2))
+        b.ret(bad)
+        with pytest.raises(VerificationError) as exc:
+            verify_module(module)
+        msg = str(exc.value)
+        assert "thief/entry" in msg and foreign.short() in msg and "outside" in msg
+
+
+class TestVerifyIntegration:
+    def test_verify_after_every_pass_runs_clean(self):
+        gen = SolutionGenerator(seed=11, independent=True)
+        for task in ("gcd", "sum_array"):
+            for lang in ("c", "java"):
+                sf = gen.generate(task, 0, lang)
+                module = lower_program(sf.program, name=sf.identifier)
+                optimize(module, "O3", verify=True)  # raises on any violation
+
+    def test_verify_all_prefixes_context(self):
+        fn = Function("f", [], [], I32)
+        fn.new_block("entry")  # empty block: structurally invalid
+        module = Module("m")
+        module.add(fn)
+        with pytest.raises(VerificationError, match="^after pass 'x': "):
+            verify_all(module, context="after pass 'x'")
+
+    def test_analyze_module_flags_unreachable_as_warning(self):
+        fn, _, _ = diamond()
+        dead = fn.new_block("dead")
+        IRBuilder(dead).ret(IRBuilder.const(0))
+        module = Module("m")
+        module.add(fn)
+        findings = analyze_module(module)
+        assert any(f.kind == "unreachable" for f in findings)
+        assert all(f.severity != "error" for f in findings)
+        verify_dataflow(module)  # warnings must not raise
