@@ -1,0 +1,416 @@
+"""Fault tolerance — every injected fault ends clean, never wrong, never hung.
+
+Not a paper table: this bench backs the reliability layer (``repro.faults``
++ checksums + ``repro fsck`` + degraded serving, PR 9).  The claim under
+gate is the contract the subsystem exists for:
+
+* **fault sweep** — each injectable fault kind driven through an artifact
+  store put/get cycle ends in exactly one of: a clean descriptive error
+  (``injected:`` message, no partial commit), an *observable* miss
+  (``read_errors`` bumped, never silently wrong bytes), or a bit-identical
+  correct result.  Never a wrong answer, never a hang.
+* **kill-mid-build recovery** — a corpus build hard-killed mid-commit
+  (``crash`` at the atomic-replace chokepoint) leaves no corrupt committed
+  entry; re-running the build to completion yields a store byte-identical
+  to an uninterrupted reference build.
+* **fsck round trip** — scan / repair wall-clocks on a corrupted store,
+  with the repaired entry restored bit-identical via re-derivation.
+* **degraded serving** — with one shard corrupted on disk the socket
+  service quarantines it and keeps answering every request, flagged
+  ``degraded`` with a coverage fraction.
+* **deadlines** — a worker hung by fault injection is detected, killed,
+  and answered with a retryable ``deadline exceeded`` error; the fault
+  seed makes the hit pattern deterministic, so the exact per-request
+  outcome sequence is asserted.
+
+Timings land in ``benchmarks/perf/BENCH_faults.json``.  Set
+``REPRO_BENCH_SMOKE=1`` for the reduced-size CI run (same gates).
+"""
+
+import base64
+import hashlib
+import json
+import os
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro import faults
+from repro.artifacts import ArtifactKey, ArtifactStore, source_text_id
+from repro.data.corpus import CorpusBuilder
+from repro.faults import CRASH_EXIT_CODE
+from repro.fsck import fsck
+from repro.index import EmbeddingIndex, ShardedEmbeddingIndex
+from repro.pipeline import CompilationPipeline
+from repro.serve import ServerConfig, create_server
+from repro.utils.tables import Table
+
+from benchmarks.common import (
+    BENCH_SEED,
+    bench_data_cfg,
+    crosslang_dataset,
+    run_once,
+    trained_gbm,
+    write_perf_record,
+)
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+TOP_K = 5
+CORPUS_TASKS = 8 if SMOKE else 12
+CORPUS_SIZE = 12 if SMOKE else 18
+SHARD_SIZE = 5
+SERVE_QUERIES = 4 if SMOKE else 8
+# Same serving-scale model (and model-store key) as the other serve benches.
+SERVE_MODEL = dict(epochs=4, hidden_dim=16, embed_dim=16, num_layers=1)
+# Crash-recovery build: 3 tasks x 2 variants = 6 store commits.  With
+# ``crash@0.5~0`` the deterministic draw stream at the replace chokepoint
+# is [False, False, True, ...]: the build dies on its third commit — a
+# genuinely partial store, not an empty or complete one.
+CRASH_TASKS = 3
+CRASH_SPEC = "crash:artifacts.put.replace@0.5~0"
+# Deadline section: ``hang@0.4~2`` draws [ok, hang, ok, hang] over four
+# single-request batches (each worker respawn restarts its draw counter),
+# so the outcome sequence below is exact, not probabilistic.
+HANG_SPEC = "hang:worker.batch@0.4~2"
+# Roomy enough that a respawned worker's model/index load (the request
+# after each deadline kill) fits inside the next request's deadline even
+# on a loaded box; the hang fault stalls for ~600s, so the deadline
+# still fires unambiguously.
+DEADLINE_S = 5.0
+TIMEOUT = 120.0
+
+SOURCE = (
+    "int gcd(int a, int b) { while (b) { int t = b; b = a % b; a = t; } return a; }"
+)
+
+# Expected terminal state per fault kind for one put/get cycle with
+# verify-on-read enabled.  Three clean outcomes exist; "wrong bytes" and
+# "hang" are not among them.
+SWEEP_EXPECTED = {
+    "eio-write": "clean-error",
+    "enospc": "clean-error",
+    "torn-replace": "clean-error",
+    "truncated-write": "observable-miss",
+    "eio-read": "observable-miss",
+    "slow-io": "identical",
+}
+
+
+def _key():
+    return ArtifactKey(
+        task="gcd",
+        variant=1,
+        language="c",
+        opt_level="O1",
+        compiler="llvm-mock",
+        source_id=source_text_id(SOURCE),
+        transforms="",
+    )
+
+
+# ------------------------------------------------------------ fault sweep
+def _sweep_one(root, compiled, kind):
+    """One put/get cycle under ``kind``; returns the terminal outcome."""
+    store = ArtifactStore(root / kind, verify_reads=True)
+    key = _key()
+    try:
+        with faults.active(kind):
+            store.put(key, compiled)
+            got = store.get(key)
+    except OSError as exc:
+        message = str(exc)
+        assert "injected" in message, f"{kind}: undescriptive error {message!r}"
+        assert len(store) == 0, f"{kind}: a failed put left a committed entry"
+        return "clean-error"
+    if got is None:
+        assert store.read_errors >= 1, f"{kind}: miss without an error counter"
+        after = store.get(key)  # fault cleared: still never wrong bytes
+        assert after is None or after.binary_bytes == compiled.binary_bytes
+        return "observable-miss"
+    assert got.binary_bytes == compiled.binary_bytes, f"{kind}: wrong bytes"
+    return "identical"
+
+
+# ------------------------------------------------- crash-recovery build
+def _corpus_build(store_dir, fault_spec=None):
+    """Run ``repro corpus build`` in a subprocess; returns (proc, seconds)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_FAULTS", None)
+    if fault_spec:
+        env["REPRO_FAULTS"] = fault_spec
+    cmd = [
+        sys.executable, "-m", "repro", "corpus", "build",
+        "--languages", "c",
+        "--num-tasks", str(CRASH_TASKS),
+        "--variants", "2",
+        "--seed", str(BENCH_SEED),
+        "--store", str(store_dir),
+    ]
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        cmd, env=env, cwd=REPO_ROOT, capture_output=True, text=True, timeout=TIMEOUT
+    )
+    return proc, time.perf_counter() - t0
+
+
+def _payload_shas(root):
+    """sha256 of every committed store payload, keyed by relative path."""
+    return {
+        str(p.relative_to(root)): hashlib.sha256(p.read_bytes()).hexdigest()
+        for p in sorted(Path(root).glob("*/*.npz"))
+    }
+
+
+# -------------------------------------------------------- socket client
+class _Client:
+    """Minimal closed-loop JSON-lines client."""
+
+    def __init__(self, address):
+        self.sock = socket.create_connection(tuple(address), timeout=TIMEOUT)
+        self.sock.settimeout(TIMEOUT)
+        self._buf = b""
+
+    def ask(self, request: dict) -> dict:
+        self.sock.sendall((json.dumps(request) + "\n").encode())
+        while b"\n" not in self._buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self._buf += chunk
+        line, self._buf = self._buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def _request(sample, rid):
+    return {
+        "id": rid,
+        "binary_b64": base64.b64encode(sample.binary_bytes).decode(),
+        "k": TOP_K,
+    }
+
+
+def _serve_config(checkpoint, index_path, **overrides):
+    kw = dict(
+        checkpoint=str(checkpoint),
+        index_path=str(index_path),
+        port=0,
+        workers=1,
+        max_batch=2,
+        max_delay_ms=2.0,
+        default_k=TOP_K,
+    )
+    kw.update(overrides)
+    return ServerConfig(**kw)
+
+
+def _run():
+    r = {}
+    compiled = CompilationPipeline().compile(SOURCE, "c", name="gcd/v1.c")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-faults-") as tmp:
+        tmp = Path(tmp)
+
+        # ---- 1. fault sweep: one put/get cycle per kind ----------------
+        t0 = time.perf_counter()
+        r["sweep"] = {
+            kind: _sweep_one(tmp / "sweep", compiled, kind) for kind in SWEEP_EXPECTED
+        }
+        r["sweep_s"] = time.perf_counter() - t0
+
+        # ---- 2. kill-mid-build crash recovery --------------------------
+        ref_proc, r["reference_build_s"] = _corpus_build(tmp / "ref-store")
+        assert ref_proc.returncode == 0, ref_proc.stderr
+        ref_shas = _payload_shas(tmp / "ref-store")
+        # Content addressing may dedup identical variants; just require
+        # enough distinct entries that a third-commit crash is partial.
+        assert len(ref_shas) >= 4
+
+        crash_proc, r["crash_run_s"] = _corpus_build(tmp / "crash-store", CRASH_SPEC)
+        r["crash_exit_code"] = crash_proc.returncode
+        partial = _payload_shas(tmp / "crash-store")
+        r["entries_surviving_crash"] = len(partial)
+        # Nothing half-written got committed: every surviving entry is
+        # already byte-identical to the reference, and fsck agrees.
+        assert all(ref_shas.get(k) == v for k, v in partial.items())
+        post_crash = fsck(tmp / "crash-store")
+        assert post_crash["counts"]["corrupt"] == 0, post_crash
+
+        recover_proc, r["recovery_run_s"] = _corpus_build(tmp / "crash-store")
+        assert recover_proc.returncode == 0, recover_proc.stderr
+        swept = fsck(tmp / "crash-store", quarantine=True)  # clear crash residue
+        assert swept["clean"], swept
+        r["recovered_identical"] = _payload_shas(tmp / "crash-store") == ref_shas
+
+        # ---- 3. fsck scan / repair round trip --------------------------
+        fsck_root = tmp / "fsck-store"
+        shutil.copytree(tmp / "ref-store", fsck_root)
+        victim = sorted(fsck_root.glob("*/*.npz"))[0]
+        original = victim.read_bytes()
+        victim.write_bytes(original[: len(original) // 2])
+
+        t0 = time.perf_counter()
+        scan = fsck(fsck_root)
+        r["fsck_scan_s"] = time.perf_counter() - t0
+        assert not scan["clean"] and scan["counts"]["corrupt"] == 1
+
+        t0 = time.perf_counter()
+        repair = fsck(fsck_root, repair=True)
+        r["fsck_repair_s"] = time.perf_counter() - t0
+        assert repair["clean"] and repair["actions"]["repaired"] == 1
+        r["repair_identical"] = victim.read_bytes() == original
+
+        # ---- 4 + 5 need a served model over a sharded index ------------
+        dataset, _ = crosslang_dataset(("c",), ("java",), num_tasks=12, variants=2)
+        trainer = trained_gbm("serve-throughput", dataset, **SERVE_MODEL)
+        corpus = CorpusBuilder(
+            bench_data_cfg(num_tasks=CORPUS_TASKS, variants=2)
+        ).build(["c", "java"])
+        binaries = [s for s in corpus if s.language == "c"]
+        sources = [s for s in corpus if s.language == "java"][:CORPUS_SIZE]
+
+        checkpoint = tmp / "model.npz"
+        trainer.save(checkpoint)
+        mono = EmbeddingIndex(trainer)
+        mono.add(
+            [s.source_graph for s in sources],
+            metas=[{"id": s.identifier} for s in sources],
+        )
+        ShardedEmbeddingIndex.from_index(mono, tmp / "index", SHARD_SIZE)
+        shutil.copytree(tmp / "index", tmp / "index-degraded")
+        shard = sorted((tmp / "index-degraded").glob("shard-*.npz"))[-1]
+        shard.write_bytes(shard.read_bytes()[:64])
+
+        # ---- 4. degraded serving stays available -----------------------
+        config = _serve_config(checkpoint, tmp / "index-degraded")
+        t0 = time.perf_counter()
+        with create_server(config) as server:
+            client = _Client(server.address)
+            try:
+                responses = [
+                    client.ask(_request(binaries[i % len(binaries)], f"d{i}"))
+                    for i in range(SERVE_QUERIES)
+                ]
+            finally:
+                client.close()
+        r["degraded_serve_s"] = time.perf_counter() - t0
+        r["degraded_responses"] = responses
+        r["degraded_coverage"] = responses[0].get("coverage")
+
+        # ---- 5. hung worker -> deterministic deadline errors -----------
+        config = _serve_config(
+            checkpoint, tmp / "index", batch_timeout_s=DEADLINE_S
+        )
+        os.environ["REPRO_FAULTS"] = HANG_SPEC
+        try:
+            t0 = time.perf_counter()
+            with create_server(config) as server:
+                client = _Client(server.address)
+                try:
+                    deadline_resp = [
+                        client.ask(_request(binaries[i % len(binaries)], f"h{i}"))
+                        for i in range(4)
+                    ]
+                finally:
+                    client.close()
+                r["deadline_timeouts"] = server.stats_snapshot()["deadline_timeouts"]
+            r["deadline_section_s"] = time.perf_counter() - t0
+        finally:
+            os.environ.pop("REPRO_FAULTS", None)
+        r["deadline_responses"] = deadline_resp
+
+    return r
+
+
+def test_fault_tolerance(benchmark):
+    r = run_once(benchmark, _run)
+
+    table = Table(
+        "Fault tolerance: injected faults end clean, never wrong, never hung",
+        ["Scenario", "Outcome", "Wall s"],
+    )
+    for kind, outcome in r["sweep"].items():
+        table.add_row(f"sweep {kind}", outcome, "-")
+    table.add_row("crash mid-build", f"exit {r['crash_exit_code']}, "
+                  f"{r['entries_surviving_crash']} entries intact",
+                  round(r["crash_run_s"], 3))
+    table.add_row("recovery re-run",
+                  "byte-identical" if r["recovered_identical"] else "DIVERGED",
+                  round(r["recovery_run_s"], 3))
+    table.add_row("fsck scan", "corrupt found", round(r["fsck_scan_s"], 4))
+    table.add_row("fsck repair",
+                  "bit-identical" if r["repair_identical"] else "DIVERGED",
+                  round(r["fsck_repair_s"], 3))
+    table.add_row("degraded serve",
+                  f"coverage {r['degraded_coverage']}",
+                  round(r["degraded_serve_s"], 3))
+    table.add_row("hung worker",
+                  f"{r['deadline_timeouts']} deadline timeouts",
+                  round(r["deadline_section_s"], 3))
+    print()
+    print(table.render())
+
+    # Sweep: each fault kind lands on its contracted clean outcome.
+    assert r["sweep"] == SWEEP_EXPECTED
+
+    # Crash recovery: the kill is the injected hard-exit, the partial store
+    # holds only clean entries, and the completed re-run is byte-identical
+    # to the uninterrupted reference build.
+    assert r["crash_exit_code"] == CRASH_EXIT_CODE
+    assert 0 < r["entries_surviving_crash"] < 4
+    assert r["recovered_identical"]
+
+    # fsck: the corrupted entry was re-derived bit-identical.
+    assert r["repair_identical"]
+
+    # Degraded serving: every request answered, flagged, partial coverage.
+    for resp in r["degraded_responses"]:
+        assert resp["hits"], resp
+        assert resp["degraded"] is True
+        assert 0.0 < resp["coverage"] < 1.0
+
+    # Deadlines: the seeded hang pattern is [ok, hang, ok, hang]; hung
+    # batches come back as retryable errors, never as wrong answers, and
+    # the service keeps serving between them (worker killed + respawned).
+    outcomes = [
+        "hits" if "hits" in resp else "deadline"
+        for resp in r["deadline_responses"]
+    ]
+    assert outcomes == ["hits", "deadline", "hits", "deadline"], r[
+        "deadline_responses"
+    ]
+    for resp in r["deadline_responses"]:
+        if "hits" not in resp:
+            assert "deadline exceeded" in resp["error"]
+            assert resp["retryable"] is True
+    assert r["deadline_timeouts"] == 2
+
+    write_perf_record(
+        "faults",
+        {
+            "smoke": SMOKE,
+            "sweep": r["sweep"],
+            "sweep_s": r["sweep_s"],
+            "crash_exit_code": r["crash_exit_code"],
+            "entries_surviving_crash": r["entries_surviving_crash"],
+            "crash_run_s": r["crash_run_s"],
+            "recovery_run_s": r["recovery_run_s"],
+            "reference_build_s": r["reference_build_s"],
+            "recovered_identical": r["recovered_identical"],
+            "fsck_scan_s": r["fsck_scan_s"],
+            "fsck_repair_s": r["fsck_repair_s"],
+            "repair_identical": r["repair_identical"],
+            "degraded_coverage": r["degraded_coverage"],
+            "degraded_serve_s": r["degraded_serve_s"],
+            "deadline_timeouts": r["deadline_timeouts"],
+            "deadline_section_s": r["deadline_section_s"],
+        },
+    )

@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Lint the tree's exception handlers for silent-swallow patterns.
+
+A reliability layer is only as good as its worst ``except``: a bare
+``except:`` or an ``except Exception: pass`` turns an injected fault (or
+a real one) into silent corruption downstream.  This checker fails the
+build on:
+
+* bare ``except:`` clauses — anywhere;
+* broad catches (``Exception`` / ``BaseException``) whose body is only
+  ``pass`` / ``...`` — anywhere;
+* broad catches under ``src/`` that neither re-raise nor carry a comment
+  justifying the boundary (worker process edges, stage rewrapping, …).
+  The comment must sit on the ``except`` line or lead the handler body —
+  the reviewer-visible "this swallow is deliberate" marker.
+
+Usage: python scripts/check_exception_hygiene.py [root]
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+import tokenize
+from pathlib import Path
+
+SCAN_DIRS = ("src", "scripts", "benchmarks", "tests")
+STRICT_DIR = "src"  # broad catches here must re-raise or be justified
+BROAD = {"Exception", "BaseException"}
+
+
+def comment_lines(path: Path) -> set:
+    """Line numbers carrying a ``#`` comment (the justification markers)."""
+    lines = set()
+    with tokenize.open(path) as fh:
+        try:
+            for tok in tokenize.generate_tokens(fh.readline):
+                if tok.type == tokenize.COMMENT:
+                    lines.add(tok.start[0])
+        except tokenize.TokenizeError:
+            pass  # syntax problems are compileall's job, not ours
+    return lines
+
+
+def is_broad(type_node) -> bool:
+    """Does the handler's type expression include Exception/BaseException?"""
+    if type_node is None:
+        return True
+    nodes = type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+    return any(isinstance(n, ast.Name) and n.id in BROAD for n in nodes)
+
+
+def swallows_silently(handler: ast.ExceptHandler) -> bool:
+    """Body is nothing but ``pass`` / ``...``: the fault just vanishes."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # `...` or a bare docstring-style literal
+        return False
+    return True
+
+
+def reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def check_file(path: Path, root: Path, strict: bool) -> list:
+    rel = path.relative_to(root)
+    tree = ast.parse(path.read_text(), filename=str(path))
+    comments = None  # parsed lazily; most files have no broad handlers
+    errors = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        where = f"{rel}:{node.lineno}"
+        if node.type is None:
+            errors.append(f"{where}: bare `except:` — name the exceptions")
+            continue
+        if not is_broad(node.type):
+            continue
+        if swallows_silently(node):
+            errors.append(
+                f"{where}: broad catch swallows silently — handle, log, or re-raise"
+            )
+            continue
+        if strict and not reraises(node):
+            if comments is None:
+                comments = comment_lines(path)
+            span = range(node.lineno, node.body[0].lineno + 1)
+            if not any(line in comments for line in span):
+                errors.append(
+                    f"{where}: broad catch neither re-raises nor carries a "
+                    "justifying comment at the handler"
+                )
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    errors = []
+    checked = 0
+    for dirname in SCAN_DIRS:
+        base = root / dirname
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            checked += 1
+            errors.extend(check_file(path, root, strict=dirname == STRICT_DIR))
+    if errors:
+        print("exception hygiene check: FAIL", file=sys.stderr)
+        for err in errors:
+            print(f"  {err}", file=sys.stderr)
+        return 1
+    print(f"exception hygiene check: OK ({checked} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

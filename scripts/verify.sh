@@ -15,12 +15,15 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # deadlocked server must fail loudly, not hang CI until the job times out.
 TIER1_TIMEOUT="${REPRO_VERIFY_TIMEOUT:-1800}"
 
-echo "== static lint: compileall + import-cycle check =="
-# Catches syntax errors in files no test imports, and top-level import
+echo "== static lint: compileall + import-cycle + exception-hygiene checks =="
+# Catches syntax errors in files no test imports, top-level import
 # cycles between repro.* modules (function-local imports are exempt —
-# that is the sanctioned escape hatch).
+# that is the sanctioned escape hatch), and exception handlers that
+# would swallow an injected fault silently (bare except, broad catches
+# without a re-raise or a justifying boundary comment).
 python -m compileall -q src/repro
 python scripts/check_import_cycles.py
+python scripts/check_exception_hygiene.py
 
 echo "== tier-1: pytest (timeout ${TIER1_TIMEOUT}s) =="
 timeout --signal=INT "$TIER1_TIMEOUT" python -m pytest -x -q
@@ -172,6 +175,20 @@ REPRO_BENCH_SMOKE=1 timeout --signal=INT 900 \
   python -m pytest benchmarks/bench_concurrent_serve.py -x -q
 if [ ! -f benchmarks/perf/BENCH_concurrent_serve.json ]; then
   echo "verify: FAIL — bench_concurrent_serve did not write benchmarks/perf/BENCH_concurrent_serve.json" >&2
+  exit 1
+fi
+
+echo "== bench: fault-tolerance gates (smoke scale) =="
+# Gates: every injected fault kind ends in a clean descriptive error, an
+# observable miss, or a bit-identical result (never wrong, never hung);
+# a build crash-killed mid-commit recovers byte-identical; fsck repairs
+# bit-identical; a corrupt shard degrades service instead of downing it;
+# a hung worker turns into a retryable deadline error.  Timeout so a
+# missed deadline fails the gate rather than wedging it.
+REPRO_BENCH_SMOKE=1 timeout --signal=INT 900 \
+  python -m pytest benchmarks/bench_faults.py -x -q
+if [ ! -f benchmarks/perf/BENCH_faults.json ]; then
+  echo "verify: FAIL — bench_faults did not write benchmarks/perf/BENCH_faults.json" >&2
   exit 1
 fi
 

@@ -14,7 +14,18 @@ stale graphs.
 
 Entries are written atomically (temp file + ``os.replace``), so parallel
 corpus builders can share one store without locks; unreadable or
-mismatched entries are treated as misses, never as errors.
+mismatched entries are treated as misses, never as errors — but never
+*silent* misses: read failures are counted separately from plain absence
+(``read_errors``), so an injected or organic IO fault is observable.
+
+Store format v2 adds two durability features (v1 entries keep opening
+unchanged): every entry's metadata records a sha256 over its array
+payload (``payload_sha256``, checked when ``verify_reads`` is on — see
+:mod:`docs/reliability`), and every ``put`` appends the entry's key to a
+``keys.jsonl`` journal at the store root.  The journal is what makes
+``repro fsck --repair`` possible: content addresses are one-way, so
+without it a corrupt entry's coordinates — needed to re-derive the
+artifact through the pipeline — would be unrecoverable.
 """
 
 from __future__ import annotations
@@ -23,20 +34,66 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import faults
 from repro.graphs.serialize import graph_from_arrays, graph_to_arrays
 from repro.ir.serialize import LazyModule, module_to_dict
 from repro.pipeline.staged import PIPELINE_VERSION, CompilationResult
 from repro.transform import chain_id, parse_transform_chain
+from repro.utils.fsio import (
+    TMP_SWEEP_AGE_SECONDS,
+    env_verify_reads as _env_verify_reads,
+    sweep_orphan_tmps,
+)
 
 PathLike = Union[str, Path]
 
 _META_KEY = "__meta_json__"
+
+#: Entry metadata schema: 2 added ``payload_sha256`` + the key journal.
+STORE_FORMAT_VERSION = 2
+
+JOURNAL_NAME = "keys.jsonl"
+
+#: Everything a failed entry read can raise: IO faults (incl. injected
+#: ones — :class:`repro.faults.InjectedFault` is an ``OSError``),
+#: truncated/invalid zip containers, bad JSON or schema drift inside the
+#: payload.  Deliberately NOT a bare ``Exception``: a genuinely novel
+#: failure should surface, not be absorbed as a cache miss.
+READ_ERRORS = (
+    OSError,
+    EOFError,
+    ValueError,  # includes json.JSONDecodeError and numpy parse errors
+    KeyError,
+    IndexError,
+    TypeError,
+    zipfile.BadZipFile,
+)
+
+
+def payload_sha256(arrays: Mapping[str, np.ndarray]) -> str:
+    """Content hash over an entry's arrays (name + dtype + shape + bytes).
+
+    The metadata blob is excluded — the hash lives *inside* it — so the
+    digest covers exactly the payload a reader reconstructs results from.
+    Array order does not matter (names are hashed sorted).
+    """
+    digest = hashlib.sha256()
+    for name in sorted(arrays):
+        if name == _META_KEY:
+            continue
+        arr = np.ascontiguousarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        digest.update(arr.dtype.str.encode("ascii"))
+        digest.update(repr(tuple(arr.shape)).encode("ascii"))
+        digest.update(arr.tobytes())
+    return digest.hexdigest()
 
 
 def _json_payload(data: dict) -> np.ndarray:
@@ -117,11 +174,26 @@ class ArtifactStore:
     bench print them).
     """
 
-    def __init__(self, root: PathLike):  # noqa: D107
+    def __init__(
+        self,
+        root: PathLike,
+        verify_reads: bool = False,
+        sweep_age_seconds: float = TMP_SWEEP_AGE_SECONDS,
+    ):
+        """Open (creating if needed) the store at ``root``.
+
+        ``verify_reads`` recomputes each entry's ``payload_sha256`` on
+        ``get`` and treats mismatches as read errors (also switchable
+        store-wide via ``REPRO_VERIFY_READS=1``).  Opening sweeps temp
+        files older than ``sweep_age_seconds`` left by crashed writers.
+        """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.verify_reads = verify_reads or _env_verify_reads()
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
+        self.swept_tmps = sweep_orphan_tmps(self.root, sweep_age_seconds)
 
     # ------------------------------------------------------------- layout
     def path_for(self, key: ArtifactKey) -> Path:
@@ -170,7 +242,6 @@ class ArtifactStore:
             ],
         }
         arrays = {
-            _META_KEY: np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
             "binary": np.frombuffer(result.binary_bytes, dtype=np.uint8),
             # Module payloads live outside the hot meta JSON: warm loads
             # construct LazyModules and never parse these unless asked.
@@ -179,27 +250,85 @@ class ArtifactStore:
         }
         arrays.update(graph_to_arrays(result.source_graph, prefix="sg."))
         arrays.update(graph_to_arrays(result.decompiled_graph, prefix="dg."))
+        meta["store_format"] = STORE_FORMAT_VERSION
+        meta["payload_sha256"] = payload_sha256(arrays)
+        arrays[_META_KEY] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
         try:
+            faults.hit("artifacts.put.write")
             with os.fdopen(fd, "wb") as handle:
                 # Uncompressed on purpose: entries are small and the store's
                 # whole point is load speed; zip-deflate made warm loads the
                 # bottleneck.
                 np.savez(handle, **arrays)
-            os.replace(tmp, path)
+            faults.replace(tmp, path, "artifacts.put")
         except BaseException:
             if os.path.exists(tmp):
                 os.unlink(tmp)
             raise
+        self._journal_append(key)
         return path
+
+    # ------------------------------------------------------------ journal
+    @property
+    def journal_path(self) -> Path:
+        """The append-only digest → key journal (``keys.jsonl``)."""
+        return self.root / JOURNAL_NAME
+
+    def _journal_append(self, key: ArtifactKey) -> None:
+        # One O_APPEND write per line: atomic enough for concurrent
+        # builders on POSIX (lines are far below PIPE_BUF); duplicate
+        # lines are fine — readers keep the last occurrence per digest.
+        line = json.dumps({"digest": key.digest, "key": asdict(key)}) + "\n"
+        fd = os.open(
+            str(self.journal_path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+
+    def journal_keys(self) -> Dict[str, ArtifactKey]:
+        """Digest → :class:`ArtifactKey` for every journaled entry.
+
+        Unparseable lines (a torn concurrent append, hand-editing) are
+        skipped: the journal is a best-effort repair aid, not a source of
+        truth — the entries themselves are.  Keys whose spec no longer
+        parses under the current code (e.g. a retired transform name) are
+        skipped the same way.
+        """
+        out: Dict[str, ArtifactKey] = {}
+        try:
+            lines = self.journal_path.read_text().splitlines()
+        except FileNotFoundError:
+            return out
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                out[record["digest"]] = ArtifactKey(**record["key"])
+            except READ_ERRORS:
+                continue
+        return out
 
     # --------------------------------------------------------------- read
     def get(self, key: ArtifactKey) -> Optional[CompilationResult]:
-        """Load an entry, or ``None`` on any miss (absent, corrupt, stale)."""
+        """Load an entry, or ``None`` on any miss (absent, corrupt, stale).
+
+        Misses stay misses by contract — the caller recompiles — but an
+        entry that *exists* and fails to read (IO error, truncated zip,
+        checksum mismatch under ``verify_reads``) additionally bumps
+        ``read_errors`` so corruption is never silently absorbed.
+        """
         path = self.path_for(key)
         try:
+            faults.hit("artifacts.get.read")
             with np.load(str(path)) as archive:
                 meta = json.loads(
                     bytes(np.asarray(archive[_META_KEY]).tobytes()).decode("utf-8")
@@ -207,6 +336,16 @@ class ArtifactStore:
                 if meta.get("key") != asdict(key):
                     self.misses += 1
                     return None
+                if self.verify_reads and meta.get("payload_sha256") is not None:
+                    actual = payload_sha256(
+                        {name: archive[name] for name in archive.files}
+                    )
+                    if actual != meta["payload_sha256"]:
+                        raise ValueError(
+                            f"checksum mismatch in {path.name}: entry records "
+                            f"{meta['payload_sha256'][:12]}…, payload hashes "
+                            f"to {actual[:12]}…"
+                        )
                 src_head = meta["source_module_head"]
                 dec_head = meta["decompiled_module_head"]
                 result = CompilationResult(
@@ -230,9 +369,16 @@ class ArtifactStore:
                     decompiled_graph=graph_from_arrays(archive, prefix="dg."),
                     from_cache=True,
                 )
-        except Exception:  # noqa: BLE001 - cache read: any unreadable entry
-            # (absent file, truncated zip, bad JSON, schema drift) is a
-            # miss by contract, never an error surfaced to the build.
+        except FileNotFoundError:
+            # Plain absence: the ordinary cold-cache miss.
+            self.misses += 1
+            return None
+        except READ_ERRORS:
+            # The entry exists but cannot be read back (truncated zip, bad
+            # JSON, schema drift, IO fault, checksum mismatch): still a
+            # miss by contract — the build recompiles — but counted so
+            # faults are observable, never silently swallowed.
+            self.read_errors += 1
             self.misses += 1
             return None
         self.hits += 1
@@ -247,4 +393,6 @@ class ArtifactStore:
             "bytes": self.size_bytes(),
             "hits": self.hits,
             "misses": self.misses,
+            "read_errors": self.read_errors,
+            "swept_tmps": self.swept_tmps,
         }

@@ -229,6 +229,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "the bit-parity reference")
     sv.add_argument("--nprobe", type=int, default=8, metavar="P",
                     help="cells probed per query in ann mode")
+    sv.add_argument("--deadline-ms", type=float, default=0.0, metavar="MS",
+                    help="per-request deadline (socket mode): a batch not "
+                         "answered in time fails with a retryable error and "
+                         "a hung worker is respawned; 0 disables")
 
     ex = sub.add_parser("experiment", help="fingerprinted, cached training runs")
     exsub = ex.add_subparsers(dest="experiment_command", required=True)
@@ -305,6 +309,36 @@ def build_parser() -> argparse.ArgumentParser:
                     help="restrict the per-function sections to one function")
     an.add_argument("--json", action="store_true",
                     help="machine-readable report on stdout")
+
+    fs = sub.add_parser(
+        "fsck",
+        help="scan a store or index for corruption; quarantine and repair",
+        description="Classify every entry of an artifact store, model "
+        "store or sharded index as ok / corrupt / orphaned-tmp, checking "
+        "recorded sha256 checksums where present.  --quarantine moves "
+        "corrupt entries aside and deletes writer residue; --repair "
+        "additionally re-derives corrupt artifact-store entries through "
+        "the content-addressed pipeline (bit-identical to the lost "
+        "entry).  Exits 0 when the target is clean or fully healed.",
+    )
+    fs.add_argument("path", help="store root or index directory to scan")
+    fs.add_argument(
+        "--kind",
+        default="auto",
+        choices=("auto", "artifacts", "models", "index"),
+        help="what lives at PATH (default: detect from its contents)",
+    )
+    fs.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move corrupt entries to quarantine/ and delete orphaned temps",
+    )
+    fs.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine, then re-derive corrupt artifact entries",
+    )
+    fs.add_argument("--json", action="store_true", help="full report on stdout")
 
     sub.add_parser("transforms", help="list registered code transforms")
     sub.add_parser("tasks", help="list available task templates")
@@ -626,6 +660,7 @@ def _serve_socket(args) -> int:
         mode=args.mode,
         nprobe=args.nprobe,
         store_root=args.store,
+        batch_timeout_s=args.deadline_ms / 1000.0 if args.deadline_ms > 0 else None,
     )
     if addr.startswith("unix:"):
         config["unix_socket"] = addr[len("unix:"):]
@@ -914,6 +949,44 @@ def cmd_tasks(_args) -> int:
     return 0
 
 
+def cmd_fsck(args) -> int:
+    """Scan a store/index; exit 0 when clean (or fully healed)."""
+    import json
+
+    from repro.fsck import fsck
+
+    try:
+        report = fsck(
+            args.path,
+            kind=args.kind,
+            quarantine=args.quarantine,
+            repair=args.repair,
+        )
+    except ValueError as exc:
+        print(f"fsck: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"fsck {report['kind']} at {report['path']}")
+        for entry in report["entries"]:
+            if entry["status"] == "ok":
+                continue
+            line = f"  {entry['status']:<13} {entry['file']}"
+            if entry.get("action"):
+                line += f"  [{entry['action']}]"
+            if entry.get("detail"):
+                line += f"  — {entry['detail']}"
+            print(line)
+        counts = report["counts"]
+        print(
+            f"  {counts['ok']} ok, {counts['corrupt']} corrupt, "
+            f"{counts['orphaned-tmp']} orphaned-tmp"
+            + ("" if report["clean"] else "  (problems remain)")
+        )
+    return 0 if report["clean"] else 1
+
+
 _COMMANDS = {
     "generate": cmd_generate,
     "train": cmd_train,
@@ -925,6 +998,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "robustness": cmd_robustness,
     "analyze": cmd_analyze,
+    "fsck": cmd_fsck,
     "transforms": cmd_transforms,
     "tasks": cmd_tasks,
 }

@@ -6,18 +6,45 @@ entries are finished :class:`~repro.core.trainer.MatchTrainer` checkpoints
 pickle-free ``.npz``) addressed by an experiment fingerprint computed in
 :mod:`repro.exec.runner`.  Writes are atomic (temp file + ``os.replace``),
 so parallel grid workers share one store without locks; unreadable or
-mismatched entries are misses, never errors.
+mismatched entries are misses, never errors — counted in ``read_errors``
+when the entry exists but cannot be read, so faults stay observable.
+
+Each checkpoint gains a ``<fingerprint>.npz.sha256`` sidecar recording
+the committed file's content hash (older sidecar-less entries keep
+opening unchanged); ``verify_reads`` / ``REPRO_VERIFY_READS=1`` checks
+it before deserializing, and ``repro fsck`` uses it to classify entries.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 from pathlib import Path
 from typing import List, Optional, Union
 
+from repro import faults
 from repro.core.trainer import MatchTrainer
+from repro.utils.fsio import (
+    TMP_SWEEP_AGE_SECONDS,
+    env_verify_reads as _env_verify_reads,
+    sha256_file,
+    sweep_orphan_tmps,
+)
 
 PathLike = Union[str, Path]
+
+#: Everything a failed checkpoint read can raise: IO faults (including
+#: injected ones), truncated/invalid zip containers, bad JSON metadata,
+#: schema drift in the serialized trainer.  Not a bare ``Exception``.
+READ_ERRORS = (
+    OSError,
+    EOFError,
+    ValueError,
+    KeyError,
+    IndexError,
+    TypeError,
+    zipfile.BadZipFile,
+)
 
 # Pins the trainer implementation in every experiment fingerprint: bump
 # when training semantics change observably (optimizer math, batching,
@@ -34,16 +61,37 @@ class ModelStore:
     print them).
     """
 
-    def __init__(self, root: PathLike):  # noqa: D107
+    def __init__(
+        self,
+        root: PathLike,
+        verify_reads: bool = False,
+        sweep_age_seconds: float = TMP_SWEEP_AGE_SECONDS,
+    ):
+        """Open (creating if needed) the store at ``root``.
+
+        ``verify_reads`` checks each checkpoint's sha256 sidecar before
+        loading (also switchable via ``REPRO_VERIFY_READS=1``).  Opening
+        sweeps temp files older than ``sweep_age_seconds`` left behind by
+        crashed writers.
+        """
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.verify_reads = verify_reads or _env_verify_reads()
         self.hits = 0
         self.misses = 0
+        self.read_errors = 0
+        self.swept_tmps = sweep_orphan_tmps(self.root, sweep_age_seconds)
 
     # ------------------------------------------------------------- layout
     def path_for(self, fingerprint: str) -> Path:
         """Entry path: two-hex-char shard directory + full fingerprint."""
         return self.root / fingerprint[:2] / (fingerprint + ".npz")
+
+    @staticmethod
+    def checksum_path(path: PathLike) -> Path:
+        """The sha256 sidecar recorded next to one checkpoint."""
+        path = Path(path)
+        return path.with_name(path.name + ".sha256")
 
     def __contains__(self, fingerprint: str) -> bool:
         """True when an entry exists on disk (no validation, no counters)."""
@@ -75,31 +123,82 @@ class ModelStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(f".{fingerprint}.{os.getpid()}.tmp.npz")
         try:
+            faults.hit("models.put.write")
             trainer.save(
                 str(tmp), extra_meta={"experiment": {**meta, "fingerprint": fingerprint}}
             )
-            os.replace(tmp, path)
+            # Hash the temp (== committed) bytes *before* the rename: a
+            # commit-time fault that corrupts the entry then disagrees
+            # with the sidecar instead of blessing the damage.
+            digest = sha256_file(tmp)
+            faults.replace(tmp, path, "models.put")
         except BaseException:
             if tmp.exists():
                 tmp.unlink()
+            raise
+        # Sidecar commits after the entry: the worst crash window leaves a
+        # checkpoint without (or with a stale) sidecar, which readers and
+        # fsck treat as "unverified", never as valid-but-wrong.
+        sidecar = self.checksum_path(path)
+        sidecar_tmp = sidecar.with_name(f".{fingerprint}.{os.getpid()}.sha.tmp")
+        try:
+            sidecar_tmp.write_text(digest + "\n")
+            os.replace(sidecar_tmp, sidecar)
+        except BaseException:
+            if sidecar_tmp.exists():
+                sidecar_tmp.unlink()
             raise
         return path
 
     # --------------------------------------------------------------- read
     def get(self, fingerprint: str) -> Optional[MatchTrainer]:
-        """Load a trained model, or ``None`` on any miss (absent, corrupt, stale)."""
+        """Load a trained model, or ``None`` on any miss (absent, corrupt, stale).
+
+        An entry that exists but fails to read (IO fault, truncated file,
+        sidecar checksum mismatch under ``verify_reads``) is still a miss
+        — grid runs retrain — but bumps ``read_errors`` so corruption is
+        observable, never silently swallowed.
+        """
         path = self.path_for(fingerprint)
         try:
+            faults.hit("models.get.read")
+            if self.verify_reads:
+                self.verify_checksum(path)
             trainer = MatchTrainer.load(str(path))
             meta = self.read_meta(path)
             if meta.get("fingerprint") != fingerprint:
                 self.misses += 1
                 return None
-        except Exception:  # noqa: BLE001 - cache read: unreadable entry = miss
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except READ_ERRORS:
+            self.read_errors += 1
             self.misses += 1
             return None
         self.hits += 1
         return trainer
+
+    @classmethod
+    def verify_checksum(cls, path: PathLike) -> Optional[bool]:
+        """Check one checkpoint against its sha256 sidecar.
+
+        Returns True on match, ``None`` when no sidecar exists (a
+        pre-sidecar entry: unverifiable, not wrong), and raises
+        ``ValueError`` on mismatch.
+        """
+        sidecar = cls.checksum_path(path)
+        try:
+            recorded = sidecar.read_text().strip()
+        except FileNotFoundError:
+            return None
+        actual = sha256_file(path)
+        if actual != recorded:
+            raise ValueError(
+                f"checksum mismatch for {Path(path).name}: sidecar records "
+                f"{recorded[:12]}…, file hashes to {actual[:12]}…"
+            )
+        return True
 
     @staticmethod
     def read_meta(path: PathLike) -> dict:
@@ -115,7 +214,9 @@ class ModelStore:
         for path in sorted(self._entry_paths()):
             try:
                 meta = self.read_meta(path)
-            except Exception:  # noqa: BLE001 - skip unreadable entries
+            except READ_ERRORS:
+                # Listing is a survey, not a health check: unreadable
+                # entries are skipped here and diagnosed by `repro fsck`.
                 continue
             meta = dict(meta)
             meta["path"] = str(path)
@@ -132,4 +233,6 @@ class ModelStore:
             "bytes": self.size_bytes(),
             "hits": self.hits,
             "misses": self.misses,
+            "read_errors": self.read_errors,
+            "swept_tmps": self.swept_tmps,
         }

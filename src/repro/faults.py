@@ -1,0 +1,353 @@
+"""Deterministic, seedable fault injection for the storage and serving tiers.
+
+A production retrieval stack has to survive the failures a laptop run
+never sees: truncated writes, torn renames, ``EIO``/``ENOSPC`` from a
+sick disk, stalled IO, and workers dying or hanging mid-batch.  Until
+this module, the only way to exercise any of that was a hand-written mock
+inside one test file — nothing fired inside the *real* code paths, and
+nothing fired inside spawned build/serve workers at all.
+
+This module is the single switchboard.  Real code declares **sites** —
+named points where a fault could strike — by calling :func:`hit` (may
+raise / sleep / crash per the active plan) or by routing its atomic
+commit through :func:`replace` (an ``os.replace`` that the plan can tear
+or truncate).  Which faults strike where is a :class:`FaultPlan` parsed
+from a spec string in the transform grammar's style
+(:mod:`repro.transform`):
+
+    kind[:site-glob][@prob][~seed]     one fault
+    spec+spec+...                      several at once
+
+``kind`` names a registered fault (see :data:`FAULT_REGISTRY`), the
+optional ``site-glob`` narrows it to matching sites (``fnmatch`` glob
+over names like ``artifacts.put.replace``; each kind has a sensible
+default), ``prob`` ∈ [0, 1] is the per-encounter firing probability
+(default 1), and ``seed`` makes the draw sequence deterministic: the
+n-th encounter of a given (spec, site) pair fires identically in every
+run, in any process.
+
+Activation is either explicit (:func:`install` / :func:`clear` /
+the :func:`active` context manager) or via the ``REPRO_FAULTS``
+environment variable — which spawned build and serve worker processes
+inherit, so faults fire inside real workers without any plumbing.  With
+no plan installed every helper is a cheap no-op (one ``is None`` check).
+
+Injected errors are real :class:`OSError` subtypes carrying real errno
+values, prefixed ``"injected:"`` so logs and tests can tell them from
+organic failures; ``benchmarks/bench_faults.py`` sweeps every kind and
+gates that each one ends in a clean descriptive error or a bit-identical
+correct result — never a hang, never a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import errno
+import math
+import os
+import threading
+import time
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.rng import derive_rng
+
+
+class FaultSpecError(ValueError):
+    """Raised on unknown fault kinds or malformed fault specs."""
+
+
+class InjectedFault(OSError):
+    """An injected IO failure (real errno, ``injected:``-prefixed message)."""
+
+
+#: Seconds one ``slow-io`` firing stalls a site.
+SLOW_IO_SECONDS = 0.05
+
+#: Total seconds a ``hang`` firing stalls (chunked so signals interrupt it).
+HANG_SECONDS = 600.0
+
+#: Fraction of the file kept by a ``truncated-write`` firing.
+TRUNCATE_KEEP_FRACTION = 0.5
+
+#: Exit code of an injected ``crash`` (distinct from Python tracebacks).
+CRASH_EXIT_CODE = 23
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """One registered injectable fault."""
+
+    name: str
+    default_sites: str  # fnmatch glob the kind applies to when unqualified
+    description: str
+
+
+#: Registered fault kinds, keyed by spec name.
+FAULT_REGISTRY: Dict[str, FaultKind] = {
+    k.name: k
+    for k in (
+        FaultKind(
+            "truncated-write",
+            "*.replace",
+            "commit only the first half of the written file (silent corruption)",
+        ),
+        FaultKind(
+            "torn-replace",
+            "*.replace",
+            "fail between write and rename, leaving the temp file behind",
+        ),
+        FaultKind("eio-read", "*.read", "raise OSError(EIO) at read sites"),
+        FaultKind("eio-write", "*.write|*.replace", "raise OSError(EIO) at write sites"),
+        FaultKind("enospc", "*.write|*.replace", "raise OSError(ENOSPC) at write sites"),
+        FaultKind("slow-io", "*", f"stall the site for {SLOW_IO_SECONDS * 1000:.0f}ms"),
+        FaultKind("crash", "*", "hard-exit the process at the site (os._exit)"),
+        FaultKind("hang", "*", "stall the site far beyond any request deadline"),
+    )
+}
+
+
+def _validate_prob(value) -> float:
+    try:
+        out = float(value)
+    except (TypeError, ValueError):
+        raise FaultSpecError(f"fault probability must be a number, got {value!r}") from None
+    if math.isnan(out) or math.isinf(out) or out < 0.0 or out > 1.0:
+        raise FaultSpecError(f"fault probability must be in [0, 1], got {value!r}")
+    return out
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fully-determined injectable fault: (kind, site glob, prob, seed)."""
+
+    kind: str
+    sites: str = ""  # "" = the kind's default site glob
+    prob: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self):  # noqa: D105
+        if self.kind not in FAULT_REGISTRY:
+            raise FaultSpecError(
+                f"unknown fault {self.kind!r}; registered: {sorted(FAULT_REGISTRY)}"
+            )
+        object.__setattr__(self, "prob", _validate_prob(self.prob))
+        object.__setattr__(self, "seed", int(self.seed))
+
+    @property
+    def site_glob(self) -> str:
+        """The effective site pattern (spec override or the kind default)."""
+        return self.sites or FAULT_REGISTRY[self.kind].default_sites
+
+    def matches(self, site: str) -> bool:
+        """True when this spec applies at ``site`` (``|`` joins globs)."""
+        return any(
+            fnmatchcase(site, pat) for pat in self.site_glob.split("|")
+        )
+
+    @property
+    def spec(self) -> str:
+        """Canonical string form (``kind[:sites]@prob~seed``)."""
+        sites = f":{self.sites}" if self.sites else ""
+        return f"{self.kind}{sites}@{self.prob:g}~{self.seed}"
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse one ``kind[:site-glob][@prob][~seed]`` spec string."""
+        body = text.strip()
+        if not body:
+            raise FaultSpecError("empty fault spec")
+        seed = 0
+        if "~" in body:
+            body, seed_s = body.rsplit("~", 1)
+            try:
+                seed = int(seed_s)
+            except ValueError:
+                raise FaultSpecError(f"bad fault seed {seed_s!r} in {text!r}") from None
+        prob: object = 1.0
+        if "@" in body:
+            body, prob = body.split("@", 1)
+        sites = ""
+        if ":" in body:
+            body, sites = body.split(":", 1)
+        return cls(kind=body.strip(), sites=sites.strip(), prob=_validate_prob(prob), seed=seed)
+
+
+def parse_fault_chain(text: str) -> Tuple[FaultSpec, ...]:
+    """Parse a ``+``-stacked chain of fault specs; ``""`` means none."""
+    if not text or not text.strip():
+        return ()
+    return tuple(FaultSpec.parse(part) for part in text.split("+"))
+
+
+class FaultPlan:
+    """An active set of fault specs with deterministic per-site draw streams.
+
+    The n-th :meth:`should_fire` draw for a given (spec, site) pair is a
+    pure function of (spec seed, kind, site, n): two processes that touch
+    the same sites in the same order make identical firing decisions.
+    Counters are per-process — a spawned worker starts its own streams.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec]):  # noqa: D107
+        self.specs = tuple(specs)
+        self._counts: Dict[Tuple[int, str], int] = {}
+        self._lock = threading.Lock()
+
+    def should_fire(self, spec_index: int, site: str) -> bool:
+        """One deterministic probability draw for (spec, site)."""
+        spec = self.specs[spec_index]
+        if spec.prob >= 1.0:
+            return True
+        if spec.prob <= 0.0:
+            return False
+        with self._lock:
+            n = self._counts.get((spec_index, site), 0)
+            self._counts[(spec_index, site)] = n + 1
+        rng = derive_rng(spec.seed, "fault", spec.kind, site, n)
+        return bool(rng.random() < spec.prob)
+
+    def firing(self, site: str) -> List[FaultSpec]:
+        """Every spec that matches ``site`` and wins its draw, in spec order."""
+        out = []
+        for i, spec in enumerate(self.specs):
+            if spec.matches(site) and self.should_fire(i, site):
+                out.append(spec)
+        return out
+
+    @property
+    def chain(self) -> str:
+        """Canonical chain string for the whole plan."""
+        return "+".join(s.spec for s in self.specs)
+
+
+# ----------------------------------------------------------- activation
+_installed: Optional[FaultPlan] = None
+_env_text: Optional[str] = None
+_env_plan: Optional[FaultPlan] = None
+_state_lock = threading.Lock()
+
+
+def install(spec_text: str) -> FaultPlan:
+    """Activate a fault plan for this process (overrides ``REPRO_FAULTS``)."""
+    global _installed
+    plan = FaultPlan(parse_fault_chain(spec_text))
+    with _state_lock:
+        _installed = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate any installed plan (``REPRO_FAULTS`` applies again)."""
+    global _installed
+    with _state_lock:
+        _installed = None
+
+
+class active:
+    """Context manager: install a plan on enter, restore the old on exit."""
+
+    def __init__(self, spec_text: str):  # noqa: D107
+        self.spec_text = spec_text
+        self._previous: Optional[FaultPlan] = None
+
+    def __enter__(self) -> FaultPlan:
+        global _installed
+        plan = FaultPlan(parse_fault_chain(self.spec_text))
+        with _state_lock:
+            self._previous = _installed
+            _installed = plan
+        return plan
+
+    def __exit__(self, *exc) -> None:
+        global _installed
+        with _state_lock:
+            _installed = self._previous
+
+
+def current_plan() -> Optional[FaultPlan]:
+    """The active plan: the installed one, else ``REPRO_FAULTS``, else None.
+
+    The env var is re-parsed only when its value changes, so the no-fault
+    hot path costs one dict lookup and one string compare.
+    """
+    global _env_text, _env_plan
+    with _state_lock:
+        if _installed is not None:
+            return _installed
+        text = os.environ.get("REPRO_FAULTS", "")
+        if text != _env_text:
+            _env_plan = FaultPlan(parse_fault_chain(text)) if text.strip() else None
+            _env_text = text
+        return _env_plan
+
+
+# ---------------------------------------------------------- injection
+def _strike(spec: FaultSpec, site: str) -> None:
+    """Apply one non-replace fault effect at ``site``."""
+    if spec.kind == "eio-read" or spec.kind == "eio-write":
+        raise InjectedFault(errno.EIO, f"injected: {spec.kind} at {site}")
+    if spec.kind == "enospc":
+        raise InjectedFault(errno.ENOSPC, f"injected: enospc at {site}")
+    if spec.kind == "slow-io":
+        time.sleep(SLOW_IO_SECONDS)
+    elif spec.kind == "crash":
+        os._exit(CRASH_EXIT_CODE)
+    elif spec.kind == "hang":
+        # Chunked so SIGTERM/SIGINT (and test teardown) can interrupt the
+        # process; only a per-request deadline rescues the *caller*.
+        deadline = time.monotonic() + HANG_SECONDS
+        while time.monotonic() < deadline:
+            time.sleep(0.25)
+
+
+def hit(site: str) -> None:
+    """Fire every active fault matching ``site`` (no plan → no-op).
+
+    May raise :class:`InjectedFault`, sleep, stall, or hard-exit the
+    process, per the matching specs.  ``truncated-write`` and
+    ``torn-replace`` never fire here — they only make sense inside
+    :func:`replace`.
+    """
+    plan = current_plan()
+    if plan is None:
+        return
+    for spec in plan.firing(site):
+        if spec.kind not in ("truncated-write", "torn-replace"):
+            _strike(spec, site)
+
+
+def replace(src, dst, site: str) -> None:
+    """``os.replace(src, dst)`` with the commit-time faults injectable.
+
+    The one chokepoint every atomic temp-file commit in the repo routes
+    through.  Site name ``{site}.replace``.  Effects, in order:
+
+    * generic faults (``eio-write``/``enospc``/``slow-io``/``crash``/
+      ``hang``) fire first, before anything is committed;
+    * ``torn-replace`` raises :class:`InjectedFault` *without* renaming,
+      leaving the temp file behind — the caller's cleanup (or the
+      orphan-tmp sweep) must cope;
+    * ``truncated-write`` truncates the temp file to
+      :data:`TRUNCATE_KEEP_FRACTION` of its bytes and then commits it —
+      the silent-corruption case checksum verification exists to catch.
+    """
+    full_site = f"{site}.replace"
+    plan = current_plan()
+    if plan is None:
+        os.replace(src, dst)
+        return
+    fired = plan.firing(full_site)
+    for spec in fired:
+        if spec.kind not in ("truncated-write", "torn-replace"):
+            _strike(spec, full_site)
+    for spec in fired:
+        if spec.kind == "torn-replace":
+            raise InjectedFault(
+                errno.EIO, f"injected: torn-replace at {full_site} (temp file kept)"
+            )
+    for spec in fired:
+        if spec.kind == "truncated-write":
+            size = os.path.getsize(src)
+            os.truncate(src, int(size * TRUNCATE_KEEP_FRACTION))
+    os.replace(src, dst)

@@ -39,10 +39,18 @@ Two scoring regimes share the directory layout:
 Format history: v1 manifests (``sharded-embedding-index-v1``, float32
 ``.npz`` shards only) are still readable; ``INDEX_FORMAT_VERSION`` 2 adds
 the ``codec`` and ``quantizer`` manifest fields and the raw-``.npy``
-quantized shard layout.
+quantized shard layout; version 3 records a sha256 per shard file (and
+per sidecar / cells file) in each manifest entry, checked on load when
+``verify_reads`` is on.  Older manifests open unchanged and keep
+recording their origin version — checksum fields they lack simply go
+unverified, and mutations add the fields entry by entry.
 
 Entry positions are global: ``Hit.index`` counts across shards in manifest
-order, matching the monolithic index the shards came from.
+order, matching the monolithic index the shards came from.  An index
+opened with ``degraded=True`` quarantines shards whose load raises
+:class:`ShardCorruption` instead of failing the query: surviving shards
+keep answering, :meth:`coverage` reports the remaining corpus fraction,
+and ``Hit.index`` then counts positions within the *surviving* entry set.
 """
 
 from __future__ import annotations
@@ -53,12 +61,14 @@ import numbers
 import os
 import shutil
 import threading
+import zipfile
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import faults
 from repro.graphs.programl import ProgramGraph
 from repro.index.embedding_index import (
     _META_KEY,
@@ -73,14 +83,32 @@ from repro.index.embedding_index import (
 )
 from repro.index.quantizer import CoarseQuantizer
 from repro.nn.tensor import no_grad
+from repro.utils.fsio import (
+    TMP_SWEEP_AGE_SECONDS,
+    env_verify_reads as _env_verify_reads,
+    sha256_file,
+    sweep_orphan_tmps,
+)
 from repro.utils.rng import derive_rng
 
 PathLike = Union[str, Path]
 
 MANIFEST_NAME = "manifest.json"
-INDEX_FORMAT_VERSION = 2
+INDEX_FORMAT_VERSION = 3
 _FORMAT_V1 = "sharded-embedding-index-v1"
-_FORMAT = "sharded-embedding-index-v2"
+_FORMAT_V2 = "sharded-embedding-index-v2"
+_FORMAT = "sharded-embedding-index-v3"
+
+
+class ShardCorruption(ValueError):
+    """A shard (or its sidecar/cells file) is unreadable or inconsistent.
+
+    Subclasses ``ValueError`` so strict callers keep their contract;
+    degraded-mode indexes catch exactly this to quarantine the shard
+    instead of failing the query.  Configuration mismatches (wrong model,
+    wrong dim) deliberately stay plain ``ValueError`` — degrading around
+    an operator error would mask it.
+    """
 
 #: Shard storage codecs: how embedding rows live on disk.
 CODECS = ("float32", "int8", "fp16")
@@ -173,26 +201,60 @@ class _Shard:
 class ShardedEmbeddingIndex:
     """Multi-shard, lazily-loaded variant of :class:`EmbeddingIndex`."""
 
-    def __init__(self, trainer, root: PathLike, manifest: dict):  # noqa: D107
+    def __init__(
+        self,
+        trainer,
+        root: PathLike,
+        manifest: dict,
+        degraded: bool = False,
+        verify_reads: bool = False,
+    ):
+        """Wrap an already-parsed manifest (use :meth:`create`/:meth:`open`).
+
+        ``degraded`` opts in to quarantine-and-continue behavior for
+        corrupt shards and a corrupt quantizer payload (strict mode — the
+        default — raises exactly as before).  ``verify_reads`` checks
+        each file's manifest sha256 as its shard loads (also switchable
+        via ``REPRO_VERIFY_READS=1``).
+        """
         if trainer.model is None:
             raise ValueError("trainer has no trained model")
         self.trainer = trainer
         self.root = Path(root)
         self.dim = 2 * trainer.config.hidden_dim
         self._manifest = manifest
+        self.degraded = degraded
+        self.verify_reads = verify_reads or _env_verify_reads()
+        # position → reason, for shards quarantined at load time (degraded
+        # mode only).  Quarantine is in-memory: the on-disk quarantine /
+        # repair workflow belongs to `repro fsck`.
+        self.quarantined: Dict[int, str] = {}
+        self.quantizer_error: Optional[str] = None
         self.codec = manifest.get("codec", "float32")
         if self.codec not in CODECS:
             raise ValueError(
                 f"manifest codec {self.codec!r} is not one of {CODECS}"
             )
         payload = manifest.get("quantizer")
-        self.quantizer: Optional[CoarseQuantizer] = (
-            CoarseQuantizer.from_manifest(payload) if payload else None
-        )
-        if self.quantizer is not None and self.quantizer.dim != self.dim:
-            raise ValueError(
-                f"manifest quantizer has dim {self.quantizer.dim}, index has {self.dim}"
+        try:
+            self.quantizer: Optional[CoarseQuantizer] = (
+                CoarseQuantizer.from_manifest(payload) if payload else None
             )
+            if self.quantizer is not None and self.quantizer.dim != self.dim:
+                raise ValueError(
+                    f"manifest quantizer has dim {self.quantizer.dim}, "
+                    f"index has {self.dim}"
+                )
+        except (ValueError, KeyError, TypeError) as exc:
+            if not degraded:
+                raise
+            # A *corrupt* quantizer payload must not take down exact
+            # retrieval: record why ANN is unavailable and fall back.
+            # (An index that never trained a quantizer has payload=None
+            # and keeps quantizer_error=None — that stays a config error
+            # for callers requesting mode="ann".)
+            self.quantizer = None
+            self.quantizer_error = str(exc)
         self._shards: List[Optional[_Shard]] = [None] * len(manifest["shards"])
         # Whole-corpus gather cache (matrix, keys, metas) — rebuilt after
         # add_shard/merge so queries pay the flattening once, not per call.
@@ -267,30 +329,41 @@ class ShardedEmbeddingIndex:
         return index
 
     @classmethod
-    def open(cls, root: PathLike, trainer) -> "ShardedEmbeddingIndex":
+    def open(
+        cls,
+        root: PathLike,
+        trainer,
+        degraded: bool = False,
+        verify_reads: bool = False,
+    ) -> "ShardedEmbeddingIndex":
         """Open an existing sharded index, validating it against ``trainer``.
 
         Only the manifest is read; shard arrays stay on disk until a query
         touches them (quantized shards are memory-mapped even then).
-        Legacy v1 manifests open as ``codec="float32"`` with no quantizer;
-        the file on disk is not rewritten unless the index is mutated.
+        Legacy v1/v2 manifests open unchanged (v1 as ``codec="float32"``
+        with no quantizer; both without checksum fields); the file on
+        disk is not rewritten unless the index is mutated.  Opening also
+        sweeps aged-out orphan temp files left by crashed writers.  See
+        ``__init__`` for ``degraded`` / ``verify_reads``.
         """
         root = Path(root)
         manifest_path = root / MANIFEST_NAME
         if not manifest_path.exists():
             raise ValueError(f"{root} is not a sharded index (no {MANIFEST_NAME})")
+        sweep_orphan_tmps(root, TMP_SWEEP_AGE_SECONDS)
         manifest = json.loads(manifest_path.read_text())
         fmt = manifest.get("format")
         if fmt == _FORMAT_V1:
             manifest.setdefault("format_version", 1)
             manifest.setdefault("codec", "float32")
             manifest.setdefault("quantizer", None)
-        elif fmt != _FORMAT:
+        elif fmt not in (_FORMAT_V2, _FORMAT):
             raise ValueError(
                 f"{manifest_path} is not a sharded index manifest this build "
-                f"reads (format {fmt!r}; supported: {_FORMAT_V1}, {_FORMAT})"
+                f"reads (format {fmt!r}; supported: {_FORMAT_V1}, "
+                f"{_FORMAT_V2}, {_FORMAT})"
             )
-        index = cls(trainer, root, manifest)
+        index = cls(trainer, root, manifest, degraded=degraded, verify_reads=verify_reads)
         if (
             manifest["dim"] != index.dim
             or manifest["pair_features"] != trainer.config.pair_features
@@ -376,53 +449,112 @@ class ShardedEmbeddingIndex:
 
     # ------------------------------------------------------------ loading
     def _write_manifest(self) -> None:
-        tmp = self.root / (MANIFEST_NAME + ".tmp")
-        tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
-        os.replace(tmp, self.root / MANIFEST_NAME)
+        # Per-pid temp name: two concurrent mutators each rename their own
+        # file (last replace wins) instead of clobbering a shared
+        # `manifest.json.tmp` mid-commit; try/finally reclaims the temp on
+        # any failure.  The format/format_version fields keep recording the
+        # manifest's origin (legacy manifests are not force-upgraded);
+        # checksum fields are added per entry as entries are written, and
+        # verification is driven by field presence, not format version.
+        tmp = self.root / f".{MANIFEST_NAME}.{os.getpid()}.tmp"
+        try:
+            faults.hit("index.manifest.write")
+            tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
+            faults.replace(tmp, self.root / MANIFEST_NAME, "index.manifest")
+        finally:
+            tmp.unlink(missing_ok=True)
 
-    def _save_array(self, name: str, arr: np.ndarray) -> None:
-        tmp = self.root / (name + ".tmp")
-        with open(tmp, "wb") as fh:
-            np.save(fh, np.ascontiguousarray(arr))
-        os.replace(tmp, self.root / name)
+    def _save_array(self, name: str, arr: np.ndarray) -> str:
+        """Atomically write one ``.npy``; returns the committed sha256."""
+        tmp = self.root / f".{name}.{os.getpid()}.tmp"
+        try:
+            faults.hit("index.array.write")
+            with open(tmp, "wb") as fh:
+                np.save(fh, np.ascontiguousarray(arr))
+            digest = sha256_file(tmp)
+            faults.replace(tmp, self.root / name, "index.array")
+        finally:
+            tmp.unlink(missing_ok=True)
+        return digest
+
+    def _save_json(self, name: str, payload: dict, site: str) -> str:
+        """Atomically write one JSON sidecar; returns the committed sha256."""
+        tmp = self.root / f".{name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_text(json.dumps(payload))
+            digest = sha256_file(tmp)
+            faults.replace(tmp, self.root / name, site)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return digest
+
+    def _verify_file(self, entry: dict, field: str, path: Path) -> None:
+        """Check one shard file against its manifest checksum (when present)."""
+        recorded = entry.get(field)
+        if not self.verify_reads or not recorded:
+            return
+        try:
+            actual = sha256_file(path)
+        except OSError as exc:
+            raise ShardCorruption(f"{path} is unreadable ({exc})") from exc
+        if actual != recorded:
+            raise ShardCorruption(
+                f"checksum mismatch for {path.name}: manifest records "
+                f"{recorded[:12]}…, file hashes to {actual[:12]}…"
+            )
 
     def _load_shard(self, position: int) -> _Shard:
         entry = self._manifest["shards"][position]
         path = self.root / entry["file"]
         scale = None
+        faults.hit("index.shard.read")
+        self._verify_file(entry, "sha256", path)
         if self.codec == "float32":
-            with np.load(path) as archive:
-                if _META_KEY not in archive.files or "embeddings" not in archive.files:
-                    raise ValueError(f"{path} is not an EmbeddingIndex archive")
-                meta = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
-                embeddings = archive["embeddings"].astype(np.float32, copy=False)
+            try:
+                with np.load(path) as archive:
+                    if _META_KEY not in archive.files or "embeddings" not in archive.files:
+                        raise ShardCorruption(
+                            f"{path} is not an EmbeddingIndex archive"
+                        )
+                    meta = json.loads(
+                        bytes(archive[_META_KEY].tobytes()).decode("utf-8")
+                    )
+                    embeddings = archive["embeddings"].astype(np.float32, copy=False)
+            except (OSError, EOFError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+                if isinstance(exc, ShardCorruption):
+                    raise
+                raise ShardCorruption(
+                    f"{path} is corrupt, truncated or missing ({exc}); "
+                    "rebuild the shard or run `repro fsck`"
+                ) from exc
         else:
             # Raw quantized rows stay on disk: np.load returns a read-only
             # memory map, and scoring dequantizes bounded blocks of it.
             try:
                 embeddings = np.load(path, mmap_mode="r", allow_pickle=False)
-            except Exception as exc:
-                raise ValueError(
+            except (OSError, EOFError, ValueError) as exc:
+                raise ShardCorruption(
                     f"{path} is corrupt or truncated ({exc}); rebuild the shard"
                 ) from exc
             meta_path = self.root / entry["meta"]
+            self._verify_file(entry, "meta_sha256", meta_path)
             try:
                 meta = json.loads(meta_path.read_text())
             except (OSError, ValueError) as exc:
-                raise ValueError(
+                raise ShardCorruption(
                     f"{meta_path} is corrupt or missing ({exc}); the shard "
                     "sidecar and array must travel together"
                 ) from exc
             want_dtype = np.int8 if self.codec == "int8" else np.float16
             if embeddings.dtype != want_dtype:
-                raise ValueError(
+                raise ShardCorruption(
                     f"{path} is corrupt: dtype {embeddings.dtype} for "
                     f"codec {self.codec!r} (expected {np.dtype(want_dtype)})"
                 )
             if self.codec == "int8":
                 scale = np.asarray(meta.get("scale"), dtype=np.float32)
                 if scale.shape != (self._manifest["dim"],):
-                    raise ValueError(
+                    raise ShardCorruption(
                         f"{meta_path} is corrupt: int8 scale has shape "
                         f"{scale.shape}, expected ({self._manifest['dim']},)"
                     )
@@ -432,22 +564,23 @@ class ShardedEmbeddingIndex:
                 "manifest records; the shard set is inconsistent"
             )
         if embeddings.shape != (entry["entries"], self._manifest["dim"]):
-            raise ValueError(
+            raise ShardCorruption(
                 f"{path} is corrupt: {embeddings.shape} embeddings for "
                 f"{entry['entries']} manifest entries of dim {self._manifest['dim']}"
             )
         cells = None
         if entry.get("cells"):
             cells_path = self.root / entry["cells"]
+            self._verify_file(entry, "cells_sha256", cells_path)
             try:
                 cells = np.load(cells_path, allow_pickle=False)
-            except Exception as exc:
-                raise ValueError(
+            except (OSError, EOFError, ValueError) as exc:
+                raise ShardCorruption(
                     f"{cells_path} is corrupt or truncated ({exc}); re-run "
                     "train_quantizer() to regenerate cell assignments"
                 ) from exc
             if cells.shape != (entry["entries"],):
-                raise ValueError(
+                raise ShardCorruption(
                     f"{cells_path} is corrupt: {cells.shape} cell ids for "
                     f"{entry['entries']} manifest entries"
                 )
@@ -472,6 +605,54 @@ class ShardedEmbeddingIndex:
                     shard = self._load_shard(position)
                     self._shards[position] = shard
         return shard
+
+    # --------------------------------------------------------- quarantine
+    def quarantine_shard(self, position: int, reason: str) -> None:
+        """Take one shard out of service (in-memory; the files stay put).
+
+        Queries from here on score the surviving shards only; the cached
+        flat gathers are invalidated so they rebuild without the
+        quarantined rows.  ``repro fsck`` is the on-disk counterpart.
+        """
+        if not 0 <= position < self.num_shards:
+            raise ValueError(f"no shard {position} (index has {self.num_shards})")
+        self.quarantined[position] = reason
+        self._shards[position] = None
+        self._flat = None
+        self._meta_flat = None
+
+    def coverage(self) -> float:
+        """Fraction of manifest entries still in service (1.0 when healthy)."""
+        total = sum(s["entries"] for s in self._manifest["shards"])
+        if total == 0:
+            return 1.0
+        lost = sum(
+            self._manifest["shards"][p]["entries"] for p in self.quarantined
+        )
+        return 1.0 - lost / total
+
+    def _ensure_active(self, positions: Sequence[int]) -> Tuple[List[int], List[_Shard]]:
+        """Load the given shards, quarantining corrupt ones in degraded mode.
+
+        Strict mode (the default) propagates :class:`ShardCorruption`
+        exactly as before; degraded mode records the casualty and answers
+        from what survives.  Already-quarantined positions are skipped.
+        """
+        out_positions: List[int] = []
+        out_shards: List[_Shard] = []
+        for position in positions:
+            if position in self.quarantined:
+                continue
+            try:
+                shard = self._ensure(position)
+            except ShardCorruption as exc:
+                if not self.degraded:
+                    raise
+                self.quarantine_shard(position, str(exc))
+                continue
+            out_positions.append(position)
+            out_shards.append(shard)
+        return out_positions, out_shards
 
     def _resolve_shards(self, shards: Optional[Sequence[int]]) -> List[int]:
         if shards is None:
@@ -504,7 +685,7 @@ class ShardedEmbeddingIndex:
         """
         if shards is None and self._flat is not None:
             return self._flat
-        loaded = [self._ensure(p) for p in self._resolve_shards(shards)]
+        _, loaded = self._ensure_active(self._resolve_shards(shards))
         if not loaded:
             matrix = np.zeros((0, self.dim), dtype=np.float32)
         else:
@@ -532,8 +713,8 @@ class ShardedEmbeddingIndex:
         positions = self._resolve_shards(shards)
         if shards is None and self._meta_flat is not None:
             keys, metas = self._meta_flat
-            return keys, metas, positions
-        loaded = [self._ensure(p) for p in positions]
+            return keys, metas, [p for p in positions if p not in self.quarantined]
+        positions, loaded = self._ensure_active(positions)
         keys = [k for s in loaded for k in s.keys]
         metas = [m for s in loaded for m in s.metas]
         if shards is None:
@@ -590,11 +771,21 @@ class ShardedEmbeddingIndex:
         shard_metas = [dict(m) for m in index._metas]
         scale = None
         if self.codec == "float32":
-            index.save(self.root / name)
+            # Per-pid temp + replace: EmbeddingIndex.save writes in place,
+            # which would leave a torn shard if this process died mid-write
+            # (and lets concurrent builders clobber each other's file).
+            tmp = self.root / f".{name}.{os.getpid()}.tmp.npz"
+            try:
+                faults.hit("index.array.write")
+                index.save(tmp)
+                entry["sha256"] = sha256_file(tmp)
+                faults.replace(tmp, self.root / name, "index.array")
+            finally:
+                tmp.unlink(missing_ok=True)
             store = index.embeddings.copy()
         else:
             store, scale = _quantize(index.embeddings, self.codec)
-            self._save_array(name, store)
+            entry["sha256"] = self._save_array(name, store)
             meta_name = _meta_name(position)
             sidecar = {
                 "keys": shard_keys,
@@ -603,15 +794,13 @@ class ShardedEmbeddingIndex:
             }
             if scale is not None:
                 sidecar["scale"] = [float(v) for v in scale]
-            tmp = self.root / (meta_name + ".tmp")
-            tmp.write_text(json.dumps(sidecar))
-            os.replace(tmp, self.root / meta_name)
+            entry["meta_sha256"] = self._save_json(meta_name, sidecar, "index.sidecar")
             entry["meta"] = meta_name
         resident = _Shard(shard_keys, shard_metas, store, codec=self.codec, scale=scale)
         if self.quantizer is not None:
             cells = self.quantizer.assign(resident.dense())
             cells_name = _cells_name(position)
-            self._save_array(cells_name, cells)
+            entry["cells_sha256"] = self._save_array(cells_name, cells)
             entry["cells"] = cells_name
             resident.cells = cells
         self._manifest["shards"].append(entry)
@@ -653,16 +842,21 @@ class ShardedEmbeddingIndex:
             name = _shard_name(new_position, self.codec)
             shutil.copyfile(other.root / entry["file"], self.root / name)
             new_entry: Dict[str, object] = {"file": name, "entries": entry["entries"]}
+            # Hash what actually landed on this disk: copying with the
+            # source's recorded checksum would bless a corrupt copy (and
+            # pre-v3 sources recorded none).
+            new_entry["sha256"] = sha256_file(self.root / name)
             if self.codec != "float32":
                 meta_name = _meta_name(new_position)
                 shutil.copyfile(other.root / entry["meta"], self.root / meta_name)
                 new_entry["meta"] = meta_name
+                new_entry["meta_sha256"] = sha256_file(self.root / meta_name)
             resident = other._shards[position]
             if self.quantizer is not None:
                 source = resident if resident is not None else other._ensure(position)
                 cells = self.quantizer.assign(source.dense())
                 cells_name = _cells_name(new_position)
-                self._save_array(cells_name, cells)
+                new_entry["cells_sha256"] = self._save_array(cells_name, cells)
                 new_entry["cells"] = cells_name
                 resident = _Shard(
                     source.keys,
@@ -724,8 +918,9 @@ class ShardedEmbeddingIndex:
         for position, shard in zip(positions, loaded):
             cells = quantizer.assign(shard.dense())
             cells_name = _cells_name(position)
-            self._save_array(cells_name, cells)
+            digest = self._save_array(cells_name, cells)
             self._manifest["shards"][position]["cells"] = cells_name
+            self._manifest["shards"][position]["cells_sha256"] = digest
             shard.cells = cells
         payload = quantizer.to_manifest()
         payload["seed"] = int(seed)
@@ -946,8 +1141,7 @@ class ShardedEmbeddingIndex:
         probes = probe_order[:, : min(int(nprobe), quantizer.num_cells)]
         masks = np.zeros((num_q, quantizer.num_cells), dtype=bool)
         masks[np.arange(num_q)[:, None], probes] = True
-        positions = list(range(self.num_shards))
-        loaded = [self._ensure(p) for p in positions]
+        positions, loaded = self._ensure_active(range(self.num_shards))
         for position, shard in zip(positions, loaded):
             if shard.cells is None:
                 raise ValueError(
@@ -1074,13 +1268,17 @@ class ShardedEmbeddingIndex:
         return [ranked_hits(row, keys, metas, k) for row in scores]
 
 
-def open_index(path: PathLike, trainer):
+def open_index(path: PathLike, trainer, degraded: bool = False, verify_reads: bool = False):
     """Open either index flavor: a sharded directory or a monolithic ``.npz``.
 
     The CLI's loader: ``repro serve`` and ``repro index query`` accept
-    both, dispatching on what is actually on disk.
+    both, dispatching on what is actually on disk.  ``degraded`` /
+    ``verify_reads`` apply to the sharded flavor (a monolithic archive
+    has no shards to quarantine — it either loads or raises).
     """
     p = Path(path)
     if p.is_dir() or (p / MANIFEST_NAME).exists():
-        return ShardedEmbeddingIndex.open(p, trainer)
+        return ShardedEmbeddingIndex.open(
+            p, trainer, degraded=degraded, verify_reads=verify_reads
+        )
     return EmbeddingIndex.load(path, trainer)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +55,13 @@ class ServerConfig:
     store_root: Optional[str] = None
     max_line_bytes: int = 1 << 20
     enable_test_hooks: bool = False  # fault-injection requests, tests only
+    # Per-request deadline, measured from dispatch: a batch not answered in
+    # time gets a retryable error and a hung worker is respawned.  None
+    # disables the watchdog (the pre-deadline behavior).
+    batch_timeout_s: Optional[float] = None
+    # How long close() waits for in-flight batches to finish before the
+    # stragglers are answered with a shutdown error.
+    drain_timeout_s: float = 10.0
 
 
 @dataclass
@@ -106,6 +114,7 @@ class ConcurrentServer:
             nprobe=config.nprobe,
             store_root=config.store_root,
             enable_test_hooks=config.enable_test_hooks,
+            batch_timeout_s=config.batch_timeout_s,
             on_batch_done=self._on_batch_done,
             on_batch_failed=self._on_batch_failed,
         )
@@ -130,11 +139,25 @@ class ConcurrentServer:
         return self.address
 
     def close(self) -> None:
-        """Shut down: stop intake, drain buffered work, stop workers."""
-        self.frontend.close()
+        """Graceful shutdown: stop intake, drain in-flight work, then stop.
+
+        Order matters.  The listener closes first (no new clients), the
+        scheduler flushes what it buffered into the pool, and shutdown then
+        waits up to ``drain_timeout_s`` for in-flight batches to come back
+        — so every admitted request is answered, in per-connection order,
+        before the workers and connections go away.  Only batches that
+        outlive the drain window get a shutdown error; their workers are
+        about to die, so silence is the alternative.
+        """
+        self.frontend.stop_accepting()
         self.scheduler.close(drain=True)
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                if not self._inflight:
+                    break
+            time.sleep(0.02)
         self.pool.close()
-        # Anything still in flight has no worker left to finish it.
         with self._inflight_lock:
             leftovers = list(self._inflight.items())
             self._inflight.clear()
@@ -142,8 +165,13 @@ class ConcurrentServer:
             for entry in entries:
                 entry.conn.deliver(
                     entry.seq,
-                    {"id": entry.request.get("id"), "error": "server shutting down"},
+                    {
+                        "id": entry.request.get("id"),
+                        "error": "server shutting down",
+                        "retryable": True,
+                    },
                 )
+        self.frontend.close()
 
     def __enter__(self) -> "ConcurrentServer":
         self.start()
@@ -190,7 +218,11 @@ class ConcurrentServer:
         elif command == "reload":
             try:
                 result = self.reload_index(obj.get("index"))
-            except Exception as exc:
+            except (RuntimeError, OSError, ValueError) as exc:
+                # Everything a swap can raise here: barrier timeout
+                # (RuntimeError), queue plumbing (OSError/ValueError).
+                # Per-worker open failures travel back as strings inside
+                # the ack, not as exceptions.
                 self._count_error()
                 conn.deliver(seq, {"id": rid, "error": f"reload failed: {exc}"})
                 return
@@ -246,13 +278,20 @@ class ConcurrentServer:
                 self._count_error()
             self._finish(entry, response)
 
-    def _on_batch_failed(self, batch_id: int, message: str) -> None:
+    def _on_batch_failed(
+        self, batch_id: int, message: str, retryable: bool = False
+    ) -> None:
         entries = self._take_inflight(batch_id)
         with self._stats_lock:
             self.stats.crashed_batches += 1
         for entry in entries:
             self._count_error()
-            self._finish(entry, {"id": entry.request.get("id"), "error": message})
+            response = {"id": entry.request.get("id"), "error": message}
+            if retryable:
+                # Deadline misses: the request itself was fine, the server
+                # just could not answer in time — clients may resubmit.
+                response["retryable"] = True
+            self._finish(entry, response)
 
     def _finish(self, entry: _Entry, response: dict) -> None:
         entry.conn.deliver(entry.seq, response)
@@ -273,6 +312,7 @@ class ConcurrentServer:
         snap.update(
             workers=self.pool.num_workers,
             worker_crashes=self.pool.crashes,
+            deadline_timeouts=self.pool.timeouts,
             pending=self.scheduler.pending,
             flushed_on_size=sched.flushed_on_size,
             flushed_on_deadline=sched.flushed_on_deadline,

@@ -165,6 +165,7 @@ class RetrievalServer:
         store=None,
         mode: str = "exact",
         nprobe: int = 8,
+        allow_degraded: bool = False,
     ):  # noqa: D107
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -173,17 +174,27 @@ class RetrievalServer:
         validate_k(default_k)
         if mode not in ("exact", "ann"):
             raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+        self.ann_fallback: Optional[str] = None
         if mode == "ann":
+            if nprobe < 1:
+                raise ValueError(f"nprobe must be >= 1, got {nprobe}")
             # Fail at startup, not per request: ANN needs a sharded index
             # whose manifest carries a trained coarse quantizer.
             if getattr(index, "quantizer", None) is None:
-                raise ValueError(
-                    "mode='ann' needs a sharded index with a trained coarse "
-                    "quantizer (build with `repro index build --shard-size N "
-                    "--cells K`)"
-                )
-            if nprobe < 1:
-                raise ValueError(f"nprobe must be >= 1, got {nprobe}")
+                corrupt = getattr(index, "quantizer_error", None)
+                if allow_degraded and corrupt:
+                    # The quantizer *payload* is corrupt (a degraded-mode
+                    # index records why).  Serving exact answers flagged
+                    # degraded beats refusing to serve; a never-trained
+                    # quantizer is still a configuration error below.
+                    self.ann_fallback = corrupt
+                    mode = "exact"
+                else:
+                    raise ValueError(
+                        "mode='ann' needs a sharded index with a trained coarse "
+                        "quantizer (build with `repro index build --shard-size N "
+                        "--cells K`)"
+                    )
         self.index = index
         self.batch_size = batch_size
         self.default_k = default_k
@@ -216,6 +227,26 @@ class RetrievalServer:
         except Exception as exc:
             raise ValueError(f"source does not compile: {exc}") from exc
 
+    def _degraded_info(self) -> dict:
+        """Degradation flags to merge into this batch's hit responses.
+
+        Empty in the healthy case.  Non-empty when corrupt shards were
+        quarantined (answers come from the surviving ``coverage`` fraction
+        of the corpus) or a corrupt quantizer forced ANN back onto the
+        exact path — results are still correct over what remains, and the
+        client can see they are partial.
+        """
+        quarantined = getattr(self.index, "quarantined", None)
+        if not quarantined and self.ann_fallback is None:
+            return {}
+        info: dict = {"degraded": True}
+        coverage = getattr(self.index, "coverage", None)
+        if coverage is not None:
+            info["coverage"] = round(coverage(), 6)
+        if self.ann_fallback is not None:
+            info["ann_fallback"] = "exact"
+        return info
+
     # ------------------------------------------------------------ serving
     def handle_batch(self, requests: Sequence[dict]) -> List[dict]:
         """Responses (in request order) for one batch of parsed requests.
@@ -246,12 +277,16 @@ class RetrievalServer:
                 # The default call stays verbatim: exact serving must keep
                 # bit parity with the pre-ANN service.
                 rankings = self.index.topk_batch(graphs, k=batch_k)
+            # Computed *after* the batched pass: a shard quarantined while
+            # answering this very batch is already reflected in the flags.
+            degraded = self._degraded_info()
             for slot, hits in zip(slots, rankings):
                 req = requests[slot]
                 if req["k"] is not None:
                     hits = hits[: req["k"]]
                 responses[slot] = {
                     "id": req.get("id"),
+                    **degraded,
                     "hits": [
                         {
                             "rank": rank,

@@ -140,20 +140,28 @@ class SocketFrontend:
         self._accept_thread.start()
         return self.bound_address
 
-    def close(self) -> None:
-        """Stop accepting and drop every live connection."""
-        self._stop = True
+    def stop_accepting(self) -> None:
+        """Close the listener; live connections keep reading and writing.
+
+        First phase of graceful shutdown: no new clients get in, while
+        responses already owed drain through the existing connections.
+        """
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:
                 pass
+        if self._accept_thread is not None and self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=5)
+
+    def close(self) -> None:
+        """Stop accepting and drop every live connection."""
+        self._stop = True
+        self.stop_accepting()
         with self._conns_lock:
             conns = list(self._conns)
         for conn in conns:
             conn.close()
-        if self._accept_thread is not None and self._accept_thread.is_alive():
-            self._accept_thread.join(timeout=5)
 
     # ------------------------------------------------------------- accept
     def _accept_loop(self) -> None:

@@ -26,6 +26,7 @@ import itertools
 import multiprocessing
 import queue as queue_mod
 import threading
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.serve.worker import NO_CLAIM, worker_main
@@ -69,11 +70,14 @@ class WorkerPool:
         nprobe: int = 8,
         store_root: Optional[str] = None,
         enable_test_hooks: bool = False,
+        batch_timeout_s: Optional[float] = None,
         on_batch_done: Callable[[int, List[dict]], None],
-        on_batch_failed: Callable[[int, str], None],
+        on_batch_failed: Callable[..., None],
     ):  # noqa: D107
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if batch_timeout_s is not None and batch_timeout_s <= 0:
+            raise ValueError(f"batch_timeout_s must be > 0, got {batch_timeout_s}")
         self.checkpoint = checkpoint
         self.index_path = index_path
         self.default_k = default_k
@@ -82,6 +86,11 @@ class WorkerPool:
         self.nprobe = nprobe
         self.store_root = store_root
         self.enable_test_hooks = enable_test_hooks
+        self.batch_timeout_s = batch_timeout_s
+        # batch id → monotonic deadline, ticking from submission (covers
+        # queue wait + execution — a per-request deadline, not a CPU one).
+        self._deadlines: Dict[int, float] = {}
+        self.timeouts = 0
         self._on_batch_done = on_batch_done
         self._on_batch_failed = on_batch_failed
         self._ctx = multiprocessing.get_context("spawn")
@@ -180,6 +189,8 @@ class WorkerPool:
                 return
             worker = min(self._workers, key=lambda w: len(w.assigned))
             worker.assigned.add(batch_id)
+            if self.batch_timeout_s is not None:
+                self._deadlines[batch_id] = time.monotonic() + self.batch_timeout_s
         worker.task_queue.put(("batch", batch_id, list(requests)))
 
     def swap(self, index_path: str, timeout: float = 60.0) -> Dict[str, object]:
@@ -210,6 +221,7 @@ class WorkerPool:
     def _pump_loop(self) -> None:
         while not self._stop:
             self._reap_dead_workers()
+            self._expire_deadlines()
             try:
                 msg = self._result_queue.get(timeout=_POLL_S)
             except queue_mod.Empty:
@@ -231,8 +243,13 @@ class WorkerPool:
             elif kind == "batch":
                 _, slot, batch_id, responses = msg
                 with self._lock:
+                    expired = batch_id not in self._workers[slot].assigned
                     self._workers[slot].assigned.discard(batch_id)
-                self._on_batch_done(batch_id, responses)
+                    self._deadlines.pop(batch_id, None)
+                if not expired:
+                    # An expired batch was already answered with a deadline
+                    # error; this late result has no one waiting for it.
+                    self._on_batch_done(batch_id, responses)
             elif kind == "swapped":
                 _, slot, token, error = msg
                 self._ack_swap(slot, token, error)
@@ -247,6 +264,43 @@ class WorkerPool:
             waiter["pending"].discard(slot)
             if not waiter["pending"]:
                 waiter["event"].set()
+
+    def _expire_deadlines(self) -> None:
+        """Fail every batch past its deadline; kill the worker hung on one.
+
+        A deadline miss on the batch a worker *claims* means that worker is
+        stuck (a hang fault, a wedged syscall): the process is terminated so
+        the reap/respawn path restores the slot, and queued batches behind
+        it survive on the same FIFO queue.  A miss on a merely *queued*
+        batch just answers it early — either way the client gets a prompt
+        retryable error instead of a connection that never responds.
+        """
+        if self.batch_timeout_s is None:
+            return
+        now = time.monotonic()
+        expired: List[tuple] = []  # (batch_id, worker, was_running)
+        with self._lock:
+            if self._stop:
+                return
+            for batch_id in [b for b, t in self._deadlines.items() if t <= now]:
+                del self._deadlines[batch_id]
+                for worker in self._workers:
+                    if batch_id in worker.assigned:
+                        worker.assigned.discard(batch_id)
+                        running = self._claims[worker.slot] == batch_id
+                        expired.append((batch_id, worker, running))
+                        break
+            self.timeouts += len(expired)
+        for batch_id, worker, running in expired:
+            proc = worker.process
+            if running and proc is not None and proc.is_alive():
+                proc.terminate()  # reaped and respawned by the next pump pass
+            self._on_batch_failed(
+                batch_id,
+                f"deadline exceeded: batch not answered within "
+                f"{self.batch_timeout_s:g}s",
+                retryable=True,
+            )
 
     def _reap_dead_workers(self) -> None:
         for worker in self._workers:
@@ -267,6 +321,8 @@ class WorkerPool:
                 self._claims[worker.slot] = NO_CLAIM
                 dead = [claimed] if claimed in worker.assigned else []
                 worker.assigned.difference_update(dead)
+                for batch_id in dead:
+                    self._deadlines.pop(batch_id, None)
                 # A crash mid-swap must not hang the swap barrier.
                 for token, waiter in list(self._swap_waiters.items()):
                     self._ack_swap(worker.slot, token, "worker crashed during swap")

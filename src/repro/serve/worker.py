@@ -47,13 +47,17 @@ def worker_main(
 ) -> None:
     """Entry point for one spawned worker process."""
     try:
+        from repro import faults
         from repro.artifacts import ArtifactStore
         from repro.core.trainer import MatchTrainer
         from repro.index import open_index
         from repro.serve.core import RetrievalServer
 
         trainer = MatchTrainer.load(checkpoint)
-        index = open_index(index_path, trainer)
+        # Degraded open: a corrupt shard quarantines instead of killing the
+        # worker, and a corrupt quantizer payload records why so the server
+        # can fall back from ANN to the exact path (allow_degraded below).
+        index = open_index(index_path, trainer, degraded=True)
         store = ArtifactStore(store_root) if store_root else None
         server = RetrievalServer(
             trainer,
@@ -63,8 +67,12 @@ def worker_main(
             store=store,
             mode=mode,
             nprobe=nprobe,
+            allow_degraded=True,
         )
     except Exception as exc:  # pragma: no cover - startup failure path
+        # Process boundary: there is no caller to re-raise to, so the
+        # exception crosses as a ("fatal", type, message) report — with
+        # context, never swallowed — and the pool surfaces it at start().
         result_queue.put(("fatal", worker_id, f"{type(exc).__name__}: {exc}"))
         return
     result_queue.put(("ready", worker_id))
@@ -76,9 +84,11 @@ def worker_main(
         if kind == "swap":
             _, path, token = msg
             try:
-                server.index = open_index(path, trainer)
+                server.index = open_index(path, trainer, degraded=True)
                 result_queue.put(("swapped", worker_id, token, None))
             except Exception as exc:
+                # Same boundary rule as startup: the swap ack carries the
+                # typed error message back; the old index stays in service.
                 result_queue.put(
                     ("swapped", worker_id, token, f"{type(exc).__name__}: {exc}")
                 )
@@ -88,6 +98,12 @@ def worker_main(
         if enable_test_hooks:
             _run_test_hooks(requests)
         try:
+            # Fault-injection chokepoint: REPRO_FAULTS specs targeting the
+            # `worker.batch` site fire here, inside the real spawned worker
+            # — crash faults die claimed (exercising reap/respawn), hang
+            # faults stall against the pool's deadline, IO faults surface
+            # as the descriptive batch error below.
+            faults.hit("worker.batch")
             responses = server.handle_batch(requests)
         except Exception as exc:
             # handle_batch turns per-request failures into error responses

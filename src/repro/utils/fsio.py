@@ -1,0 +1,100 @@
+"""Filesystem integrity helpers shared by the on-disk stores.
+
+The artifact store, model store and sharded index all follow the same
+durability protocol — write to a uniquely-named temp file in the final
+directory, fsync-free ``os.replace`` commit, sha256 recorded for
+verify-on-read — and all inherit the same failure residue: a writer
+killed between write and rename leaves its temp file behind forever.
+These helpers are the shared vocabulary: content hashing for the
+checksum layer and an age-gated orphan sweep every store runs on open.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from pathlib import Path
+from typing import Sequence, Union
+
+PathLike = Union[str, Path]
+
+#: Temp-file name patterns every store's writers produce (``mkstemp``
+#: suffix ``.tmp``, and the dotted ``.<name>.<pid>.tmp[.npz]`` scheme).
+TMP_PATTERNS = ("*.tmp", "*.tmp.npz")
+
+#: Default age before an orphaned temp file is eligible for sweeping.
+#: Real writes hold a temp file for milliseconds; an hour-old one can
+#: only belong to a dead writer.
+TMP_SWEEP_AGE_SECONDS = 3600.0
+
+
+def env_verify_reads() -> bool:
+    """True when ``REPRO_VERIFY_READS`` asks every store to verify on read.
+
+    One switch for the whole process (and, via inherited environment, for
+    spawned build/serve workers): any value other than empty/``0`` is on.
+    """
+    return os.environ.get("REPRO_VERIFY_READS", "") not in ("", "0")
+
+
+def sha256_file(path: PathLike, chunk_bytes: int = 1 << 20) -> str:
+    """Hex sha256 of a file's bytes, read in bounded chunks."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_bytes)
+            if not chunk:
+                return digest.hexdigest()
+            digest.update(chunk)
+
+
+def find_orphan_tmps(
+    root: PathLike,
+    max_age_seconds: float = TMP_SWEEP_AGE_SECONDS,
+    patterns: Sequence[str] = TMP_PATTERNS,
+) -> list:
+    """Temp files under ``root`` older than ``max_age_seconds``.
+
+    Age-gated so a live writer's in-flight temp (held for milliseconds)
+    is never a candidate; ``max_age_seconds <= 0`` matches every temp
+    (what ``repro fsck`` uses to report fresh residue without deleting
+    it).  Files that vanish mid-scan (a concurrent writer committing or
+    cleaning up) are skipped, not errors.
+    """
+    now = time.time()
+    out = []
+    seen = set()
+    for pattern in patterns:
+        for path in Path(root).rglob(pattern):
+            if path in seen:
+                continue
+            seen.add(path)
+            try:
+                age = now - path.stat().st_mtime
+            except OSError:  # racing writer committed/cleaned it up
+                continue
+            if age >= max_age_seconds:
+                out.append(path)
+    return sorted(out)
+
+
+def sweep_orphan_tmps(
+    root: PathLike,
+    max_age_seconds: float = TMP_SWEEP_AGE_SECONDS,
+    patterns: Sequence[str] = TMP_PATTERNS,
+) -> int:
+    """Delete aged-out orphan temp files under ``root``; returns the count.
+
+    Every store calls this on open so crashed writers cannot accumulate
+    garbage forever (torn ``os.replace`` deliberately leaves its temp
+    behind — this is the matching reclaim path).
+    """
+    swept = 0
+    for path in find_orphan_tmps(root, max_age_seconds, patterns):
+        try:
+            path.unlink()
+        except OSError:  # racing sweeper or writer; the file is gone either way
+            continue
+        swept += 1
+    return swept

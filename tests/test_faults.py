@@ -1,0 +1,260 @@
+"""Tests for the fault-injection framework and the stores' integrity layer.
+
+Covers the spec grammar (repro.faults), the deterministic draw streams,
+the injection chokepoints (hit / replace), and how the artifact and model
+stores behave when faults fire: clean descriptive errors or observable
+misses, never silent corruption and never a wrong answer.
+"""
+
+import errno
+import os
+import time
+
+import pytest
+
+from repro import faults
+from repro.artifacts import ArtifactKey, ArtifactStore, source_text_id
+from repro.faults import (
+    FAULT_REGISTRY,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+    TRUNCATE_KEEP_FRACTION,
+    parse_fault_chain,
+)
+from repro.pipeline import CompilationPipeline
+from repro.utils.fsio import find_orphan_tmps, sweep_orphan_tmps
+
+SOURCE = "int gcd(int a, int b) { while (b) { int t = b; b = a % b; a = t; } return a; }"
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_plan():
+    """Every test starts and ends with no plan installed."""
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def make_key(text=SOURCE, transforms=""):
+    return ArtifactKey(
+        task="gcd",
+        variant=1,
+        language="c",
+        opt_level="O1",
+        compiler="llvm-mock",
+        source_id=source_text_id(text),
+        transforms=transforms,
+    )
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return CompilationPipeline().compile(SOURCE, "c", name="gcd/v1.c")
+
+
+# --------------------------------------------------------------- grammar
+class TestSpecGrammar:
+    def test_parse_minimal(self):
+        spec = FaultSpec.parse("eio-read")
+        assert spec.kind == "eio-read"
+        assert spec.prob == 1.0
+        assert spec.seed == 0
+        assert spec.sites == ""
+        assert spec.site_glob == FAULT_REGISTRY["eio-read"].default_sites
+
+    def test_parse_full(self):
+        spec = FaultSpec.parse("torn-replace:artifacts.*@0.25~7")
+        assert spec.kind == "torn-replace"
+        assert spec.sites == "artifacts.*"
+        assert spec.prob == 0.25
+        assert spec.seed == 7
+
+    def test_canonical_round_trip(self):
+        spec = FaultSpec.parse("enospc:index.*@0.5~3")
+        assert FaultSpec.parse(spec.spec) == spec
+
+    def test_chain_parses_in_order(self):
+        chain = parse_fault_chain("eio-read+slow-io:worker.*@0.1")
+        assert [s.kind for s in chain] == ["eio-read", "slow-io"]
+        assert parse_fault_chain("") == ()
+        assert parse_fault_chain("   ") == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault"):
+            FaultSpec.parse("bitrot")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(FaultSpecError, match="probability"):
+            FaultSpec.parse("eio-read@1.5")
+        with pytest.raises(FaultSpecError, match="probability"):
+            FaultSpec.parse("eio-read@nan")
+
+    def test_bad_seed_rejected(self):
+        with pytest.raises(FaultSpecError, match="seed"):
+            FaultSpec.parse("eio-read~lucky")
+
+    def test_site_glob_alternation(self):
+        spec = FaultSpec.parse("eio-write")
+        assert spec.matches("artifacts.put.write")
+        assert spec.matches("artifacts.put.replace")
+        assert not spec.matches("artifacts.get.read")
+
+
+class TestDeterminism:
+    def test_draws_are_reproducible_across_plans(self):
+        spec = FaultSpec.parse("eio-read:site.read@0.5~11")
+
+        def sequence():
+            plan = FaultPlan([spec])
+            return [plan.should_fire(0, "site.read") for _ in range(20)]
+
+        first, second = sequence(), sequence()
+        assert first == second
+        assert any(first) and not all(first)  # prob 0.5 actually mixes
+
+    def test_streams_are_per_site(self):
+        spec = FaultSpec.parse("eio-read:*@0.5~11")
+        plan = FaultPlan([spec])
+        a = [plan.should_fire(0, "a.read") for _ in range(20)]
+        b = [plan.should_fire(0, "b.read") for _ in range(20)]
+        assert a != b
+
+
+# ------------------------------------------------------------- injection
+class TestInjection:
+    def test_no_plan_is_a_noop(self):
+        faults.hit("anything.at.all")  # must not raise
+
+    def test_eio_read_raises_real_oserror(self):
+        with faults.active("eio-read"):
+            with pytest.raises(InjectedFault) as exc:
+                faults.hit("store.get.read")
+            assert exc.value.errno == errno.EIO
+            assert "injected:" in str(exc.value)
+            faults.hit("store.put.write")  # read fault spares write sites
+
+    def test_enospc_carries_its_errno(self):
+        with faults.active("enospc"):
+            with pytest.raises(InjectedFault) as exc:
+                faults.hit("store.put.write")
+            assert exc.value.errno == errno.ENOSPC
+
+    def test_env_activation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "eio-read")
+        with pytest.raises(InjectedFault):
+            faults.hit("store.get.read")
+        monkeypatch.setenv("REPRO_FAULTS", "")
+        faults.hit("store.get.read")  # re-parsed on change: no-op again
+
+    def test_install_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "eio-read")
+        faults.install("")  # explicit empty plan wins over the env
+        faults.hit("store.get.read")
+
+    def test_torn_replace_keeps_temp_and_dst_absent(self, tmp_path):
+        src, dst = tmp_path / "x.tmp", tmp_path / "x"
+        src.write_bytes(b"payload")
+        with faults.active("torn-replace"):
+            with pytest.raises(InjectedFault, match="torn-replace"):
+                faults.replace(src, dst, "unit")
+        assert src.exists() and not dst.exists()
+
+    def test_truncated_write_commits_half_the_bytes(self, tmp_path):
+        src, dst = tmp_path / "y.tmp", tmp_path / "y"
+        src.write_bytes(b"x" * 100)
+        with faults.active("truncated-write"):
+            faults.replace(src, dst, "unit")
+        assert not src.exists()
+        assert dst.stat().st_size == int(100 * TRUNCATE_KEEP_FRACTION)
+
+    def test_replace_without_plan_is_plain_replace(self, tmp_path):
+        src, dst = tmp_path / "z.tmp", tmp_path / "z"
+        src.write_bytes(b"ok")
+        faults.replace(src, dst, "unit")
+        assert dst.read_bytes() == b"ok"
+
+
+# ----------------------------------------------------------- orphan sweep
+class TestOrphanSweep:
+    def test_age_gate(self, tmp_path):
+        fresh = tmp_path / "a.tmp"
+        stale = tmp_path / "sub" / "b.tmp"
+        stale.parent.mkdir()
+        fresh.write_bytes(b"")
+        stale.write_bytes(b"")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        assert find_orphan_tmps(tmp_path, 3600) == [stale]
+        assert sweep_orphan_tmps(tmp_path, 3600) == 1
+        assert fresh.exists() and not stale.exists()
+
+    def test_store_open_sweeps(self, tmp_path):
+        stale = tmp_path / "store" / "leftover.tmp"
+        stale.parent.mkdir(parents=True)
+        stale.write_bytes(b"")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        store = ArtifactStore(tmp_path / "store")
+        assert store.swept_tmps == 1
+        assert not stale.exists()
+
+
+# ------------------------------------------------------- store integrity
+class TestArtifactStoreUnderFaults:
+    def test_put_get_round_trip_records_checksum(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = make_key()
+        store.put(key, compiled)
+        got = store.get(key)
+        assert got is not None
+        assert got.binary_bytes == compiled.binary_bytes
+        assert key.digest in store.journal_keys()
+
+    def test_eio_write_fails_put_cleanly(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        with faults.active("eio-write"):
+            with pytest.raises(InjectedFault, match="injected"):
+                store.put(make_key(), compiled)
+        assert len(store) == 0
+        assert find_orphan_tmps(tmp_path, 0) == []  # cleanup ran
+
+    def test_torn_replace_fails_put_and_sweep_recovers(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        with faults.active("torn-replace"):
+            with pytest.raises(InjectedFault):
+                store.put(make_key(), compiled)
+        assert len(store) == 0
+
+    def test_truncated_write_is_caught_by_verify_reads(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path, verify_reads=True)
+        key = make_key()
+        with faults.active("truncated-write"):
+            store.put(key, compiled)
+        assert store.get(key) is None  # corrupt ⇒ miss, never wrong bytes
+        assert store.read_errors == 1
+
+    def test_eio_read_is_an_observable_miss(self, tmp_path, compiled):
+        store = ArtifactStore(tmp_path)
+        key = make_key()
+        store.put(key, compiled)
+        with faults.active("eio-read"):
+            assert store.get(key) is None
+        assert store.read_errors == 1
+        assert store.get(key) is not None  # entry itself is intact
+
+    def test_env_verify_reads(self, tmp_path, compiled, monkeypatch):
+        key = make_key()
+        store = ArtifactStore(tmp_path)
+        store.put(key, compiled)
+        # Corrupt the payload without touching the stored checksum.
+        path = store.path_for(key)
+        data = bytearray(path.read_bytes())
+        data[-40] ^= 0xFF
+        path.write_bytes(bytes(data))
+        monkeypatch.setenv("REPRO_VERIFY_READS", "1")
+        checked = ArtifactStore(tmp_path)
+        assert checked.verify_reads
+        assert checked.get(key) is None  # flipped byte ⇒ miss, not bad data
+        assert checked.read_errors == 1
