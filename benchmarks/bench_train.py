@@ -10,18 +10,29 @@ This bench gates the three layers of the training-throughput subsystem:
   process-equivalent store handle) loads the finished checkpoint ≥5×
   faster than the cold training run, with *identical* (precision,
   recall, f1) rows, because a reloaded trainer is fingerprint-equal;
-* **parallel grid** — :func:`run_grid` over worker processes produces
-  bit-identical models to the serial path (workers only fill the store);
+* **parallel grid** — :func:`run_grid` over persistent warm-pool workers
+  produces bit-identical models to the serial path (workers only fill the
+  store) and actually pays: ≥2× over serial where the machine has the
+  cores (≥1.5× at smoke scale), bounded parallel overhead (≤1.25×
+  serial) on a single-core box where a literal speedup is physically
+  impossible — the recorded ``cores``/``gate`` fields say which gate ran;
+* **warm pool dispatch** — re-dispatching a batch to resident
+  :class:`WarmPool` workers beats standing up a fresh spawn
+  ``multiprocessing.Pool`` per batch ≥2× (this is the cost the warm pool
+  exists to delete, and it is core-count-independent);
 * **fused optimizer** — the :class:`ParameterArena`-backed Adam + clip
   matches the per-parameter reference loop's loss curve within 1e-5
-  (they are bit-identical by construction) without regressing epoch
-  wall-clock, and the optimizer step itself is ≥1.2× faster.
+  (they are bit-identical by construction), the train-only epoch time
+  (``epoch_seconds − epoch_valid_seconds``, min over epochs: every epoch
+  is identical work, so min is the noise-robust estimator) does not
+  regress, and the optimizer step itself is ≥1.2× faster.
 
 Each test merges its measurements into ``benchmarks/perf/BENCH_train.json``
 so the perf trajectory is tracked run over run.  Set ``REPRO_BENCH_SMOKE=1``
 (scripts/verify.sh does) for a reduced-size run with the same gates.
 """
 
+import multiprocessing
 import os
 import time
 
@@ -29,7 +40,8 @@ import numpy as np
 
 from repro.core.trainer import MatchTrainer
 from repro.eval.experiments import run_graphbinmatch
-from repro.exec import ExperimentSpec, ModelStore, run_experiment, run_grid
+from repro.exec import ExperimentSpec, ModelStore, WarmPool, run_experiment, run_grid
+from repro.exec.pool import ping
 from repro.nn.functional import clip_grad_norm
 from repro.nn.module import Parameter
 from repro.nn.optim import Adam
@@ -129,10 +141,32 @@ def test_run_grid_parallel_identical_to_serial(tmp_path):
         s_row = run_graphbinmatch(ds, s_run.spec.config, trainer=s_run.trainer).row
         p_row = run_graphbinmatch(ds, p_run.spec.config, trainer=p_run.trainer).row
         assert s_row == p_row
+
+    speedup = t_serial / t_parallel
+    cores = os.cpu_count() or 1
+    # Two workers cannot beat one on one core — CPU-bound training jobs
+    # just timeshare it.  Gate the speedup where the silicon exists, and
+    # gate the *overhead* (dispatch, dataset sharing, store commits) where
+    # it does not; the recorded fields say which gate this run took.
+    if cores >= 2:
+        target = 1.5 if SMOKE else 2.0
+        gate = f"speedup>={target}"
+        ok = speedup >= target
+        detail = f"parallel only {speedup:.2f}x serial on {cores} cores"
+    else:
+        # Two CPU-bound trainings timesharing one core also pay context
+        # switches and cache pressure on top of pool dispatch, hence the
+        # headroom over a pure-overhead bound.
+        gate = "overhead<=1.35x"
+        ok = t_parallel <= t_serial * 1.35
+        detail = (
+            f"pool overhead too high on 1 core: parallel {t_parallel:.2f}s "
+            f"vs serial {t_serial:.2f}s"
+        )
     print(
         f"\ngrid of {len(jobs)}: serial {t_serial:.2f}s, "
-        f"parallel x2 {t_parallel:.2f}s ({t_serial / t_parallel:.1f}x), "
-        "models bit-identical"
+        f"parallel x2 {t_parallel:.2f}s ({speedup:.1f}x) on {cores} core(s), "
+        f"gate [{gate}], models bit-identical"
     )
     write_perf_record(
         "train",
@@ -141,11 +175,62 @@ def test_run_grid_parallel_identical_to_serial(tmp_path):
                 "jobs": len(jobs),
                 "serial_s": round(t_serial, 3),
                 "parallel_s": round(t_parallel, 3),
-                "speedup": round(t_serial / t_parallel, 2),
+                "speedup": round(speedup, 2),
+                "cores": cores,
+                "gate": gate,
                 "smoke": SMOKE,
             }
         },
     )
+    assert ok, detail
+
+
+def test_warm_pool_amortizes_dispatch(tmp_path):
+    """Warm re-dispatch vs a fresh spawn pool per batch (the old runner).
+
+    The cost the warm pool deletes is per-batch worker startup: process
+    spawn + interpreter boot + ``repro``/NumPy import.  That cost is
+    per-worker wall time, not parallel compute, so this gate holds on any
+    core count — and under spawn it is brutal (seconds per batch).
+    """
+    workers, batches = 2, 3
+    payload = [(i,) for i in range(8)]
+    values = [v for (v,) in payload]
+
+    with WarmPool(workers, start_method="spawn") as pool:
+        assert pool.run(ping, payload) == values  # pay the one-time warmup
+        t0 = time.perf_counter()
+        for _ in range(batches):
+            assert pool.run(ping, payload) == values
+        t_warm = time.perf_counter() - t0
+
+    ctx = multiprocessing.get_context("spawn")
+    t0 = time.perf_counter()
+    for _ in range(batches):
+        with ctx.Pool(workers) as fresh:
+            assert fresh.map(ping, values) == values
+    t_fresh = time.perf_counter() - t0
+
+    speedup = t_fresh / t_warm
+    print(
+        f"\n{batches} batches x {len(payload)} jobs on {workers} spawn workers: "
+        f"fresh Pool {t_fresh:.2f}s, warm pool {t_warm:.3f}s ({speedup:.0f}x)"
+    )
+    write_perf_record(
+        "train",
+        {
+            "pool_dispatch": {
+                "batches": batches,
+                "jobs_per_batch": len(payload),
+                "workers": workers,
+                "fresh_s": round(t_fresh, 3),
+                "warm_s": round(t_warm, 4),
+                "speedup": round(speedup, 1),
+                "smoke": SMOKE,
+            }
+        },
+    )
+    assert speedup >= 2.0, f"warm dispatch only {speedup:.1f}x a fresh spawn pool"
 
 
 def _optimizer_step_time(params, grads, fused: bool, iters: int) -> float:
@@ -192,8 +277,21 @@ def test_fused_optimizer_parity_and_speed(benchmark):
             )
         )
     )
-    ref_epoch = float(np.mean(ref_report.epoch_seconds))
-    fused_epoch = float(np.mean(fused_report.epoch_seconds))
+
+    def min_train_epoch(report):
+        """Train-only epoch floor: total minus the validation pass.
+
+        Early-stopping validation rides inside ``epoch_seconds`` and its
+        cost varies run to run; subtracting ``epoch_valid_seconds`` and
+        taking the min over epochs (every epoch is identical work)
+        measures the thing the fused path actually changes.
+        """
+        return min(
+            t - v for t, v in zip(report.epoch_seconds, report.epoch_valid_seconds)
+        )
+
+    ref_epoch = min_train_epoch(ref_report)
+    fused_epoch = min_train_epoch(fused_report)
 
     # Step-level microbench on the real model's parameter set: the fused
     # arena replaces ~10 small NumPy calls per parameter with ~10 calls
@@ -210,7 +308,7 @@ def test_fused_optimizer_parity_and_speed(benchmark):
 
     table = Table(
         "Fused optimizer arena vs per-parameter reference loop",
-        ["Path", "Epoch mean (s)", "Step bench (s)", "Final loss"],
+        ["Path", "Epoch train-only min (s)", "Step bench (s)", "Final loss"],
     )
     table.add_row(
         "reference loop", f"{ref_epoch:.3f}", f"{t_step_ref:.3f}",
@@ -242,9 +340,12 @@ def test_fused_optimizer_parity_and_speed(benchmark):
         },
     )
     assert curve_diff <= 1e-5, f"fused loss curve diverged by {curve_diff:.2e}"
-    # Epoch wall-clock must not regress (forward/backward dominates; allow
-    # timer noise), and the optimizer step itself carries the ≥1.2× target.
-    assert fused_epoch <= ref_epoch * 1.05, (
-        f"fused epochs regressed: {fused_epoch:.3f}s vs {ref_epoch:.3f}s"
+    # Backward writes gradients straight into the arena, so a fused epoch
+    # does strictly less copying than the reference loop: the train-only
+    # epoch floor must not regress, and the optimizer step itself carries
+    # the ≥1.2× target.
+    assert fused_epoch <= ref_epoch, (
+        f"fused epochs regressed: {fused_epoch:.3f}s vs {ref_epoch:.3f}s "
+        "(train-only min over epochs)"
     )
     assert step_speedup >= 1.2, f"fused optimizer step only {step_speedup:.2f}x"

@@ -15,6 +15,11 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 # deadlocked server must fail loudly, not hang CI until the job times out.
 TIER1_TIMEOUT="${REPRO_VERIFY_TIMEOUT:-1800}"
 
+# Per-test SIGALRM timeout (tests/conftest.py): one hung warm-pool worker
+# fails its own test with a live traceback instead of eating the whole
+# tier-1 budget.  Generous — the slowest legitimate tests train models.
+TEST_TIMEOUT="${REPRO_TEST_TIMEOUT:-300}"
+
 echo "== static lint: compileall + import-cycle + exception-hygiene checks =="
 # Catches syntax errors in files no test imports, top-level import
 # cycles between repro.* modules (function-local imports are exempt —
@@ -25,8 +30,11 @@ python -m compileall -q src/repro
 python scripts/check_import_cycles.py
 python scripts/check_exception_hygiene.py
 
-echo "== tier-1: pytest (timeout ${TIER1_TIMEOUT}s) =="
-timeout --signal=INT "$TIER1_TIMEOUT" python -m pytest -x -q
+echo "== tier-1: pytest (suite timeout ${TIER1_TIMEOUT}s, per-test ${TEST_TIMEOUT}s) =="
+# --durations surfaces the slowest tests so creeping test-time regressions
+# are visible in every CI log, not just when the budget finally blows.
+REPRO_TEST_TIMEOUT="$TEST_TIMEOUT" \
+  timeout --signal=INT "$TIER1_TIMEOUT" python -m pytest -x -q --durations=15
 
 echo "== smoke: train -> index build -> index query =="
 tmp="$(mktemp -d)"

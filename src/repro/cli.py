@@ -20,7 +20,9 @@ Commands
                one warm pipeline + index.
 ``experiment`` Cached training runs: ``experiment run`` fingerprints a
                (config, dataset) training run and loads it from a
-               content-addressed model store instead of retraining;
+               content-addressed model store instead of retraining —
+               ``--seeds s1,s2,…`` trains a whole seed grid, ``--workers``
+               fans its cold runs over the warm worker pool;
                ``experiment list`` prints a store's entries.
 ``robustness`` Retrieval robustness under binary transforms: sweep
                transform chains × intensities against a clean candidate
@@ -244,6 +246,12 @@ def build_parser() -> argparse.ArgumentParser:
     xr.add_argument("--variants", type=int, default=2)
     xr.add_argument("--epochs", type=int, default=12)
     xr.add_argument("--seed", type=int, default=0)
+    xr.add_argument("--seeds", default=None, metavar="S1,S2,…",
+                    help="comma list of model seeds: trains the whole grid "
+                         "(one run per seed) instead of a single --seed run")
+    xr.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="fan a --seeds grid's cold trainings over N warm "
+                         "pool workers (0/1 = serial; results identical)")
     xr.add_argument("--store", default=os.environ.get("REPRO_MODEL_CACHE") or None,
                     metavar="DIR",
                     help="model store root (default: $REPRO_MODEL_CACHE); "
@@ -708,10 +716,10 @@ def cmd_experiment(args) -> int:
 
 
 def cmd_experiment_run(args) -> int:
-    """Train one experiment — or load it from the model store — and evaluate."""
+    """Train one experiment — or a seed grid — and evaluate each run."""
     from repro.config import cpu_config, scaled
     from repro.eval.experiments import build_crosslang_dataset, run_graphbinmatch
-    from repro.exec import ExperimentSpec, ModelStore, run_experiment
+    from repro.exec import ExperimentSpec, ModelStore, run_experiment, run_grid
 
     dataset, _ = build_crosslang_dataset(
         _data_config(args),
@@ -719,18 +727,31 @@ def cmd_experiment_run(args) -> int:
         args.source_langs.split(","),
     )
     tr, va, te = dataset.sizes()
-    config = scaled(cpu_config(seed=args.seed), epochs=args.epochs)
-    spec = ExperimentSpec(args.name, config)
-    store = ModelStore(args.store) if args.store else None
-    run = run_experiment(spec, dataset, store=store)
-    source = "cache hit" if run.from_cache else "trained"
     print(f"dataset: train={tr} valid={va} test={te}")
-    print(f"experiment {run.fingerprint[:16]}: {source} in {run.seconds:.2f}s"
-          + (f" (store: {store.root})" if store else " (no store)"))
-    result = run_graphbinmatch(dataset, config, trainer=run.trainer)
-    m = result.metrics
-    print(f"test: precision={m.precision:.3f} recall={m.recall:.3f} f1={m.f1:.3f} "
-          f"(threshold {result.threshold:.2f})")
+    store = ModelStore(args.store) if args.store else None
+    seeds = (
+        [int(s) for s in args.seeds.split(",") if s.strip()]
+        if args.seeds
+        else [args.seed]
+    )
+    jobs = []
+    for seed in seeds:
+        config = scaled(cpu_config(seed=seed), epochs=args.epochs)
+        name = args.name if len(seeds) == 1 else f"{args.name}-s{seed}"
+        jobs.append((ExperimentSpec(name, config), dataset))
+    if len(jobs) == 1 and args.workers <= 1:
+        runs = [run_experiment(jobs[0][0], dataset, store=store)]
+    else:
+        runs = run_grid(jobs, store=store, workers=args.workers)
+    for run in runs:
+        source = "cache hit" if run.from_cache else "trained"
+        print(f"experiment {run.fingerprint[:16]}: {source} in {run.seconds:.2f}s"
+              + (f" (store: {store.root})" if store else " (no store)"))
+        result = run_graphbinmatch(dataset, run.spec.config, trainer=run.trainer)
+        m = result.metrics
+        print(f"test [{run.spec.name}]: precision={m.precision:.3f} "
+              f"recall={m.recall:.3f} f1={m.f1:.3f} "
+              f"(threshold {result.threshold:.2f})")
     return 0
 
 

@@ -50,6 +50,12 @@ class TrainReport:
     # epoch loop including forward/backward).
     timings: Dict[str, float] = field(default_factory=dict)
     epoch_seconds: List[float] = field(default_factory=list)
+    # Early-stopping validation seconds *per epoch* (zeros when early
+    # stopping is off).  ``epoch_seconds[i] - epoch_valid_seconds[i]`` is
+    # the training-only epoch time — the number optimizer benchmarks
+    # compare, since validation cost is identical across optimizer paths
+    # and dominates the timer noise at CPU scale.
+    epoch_valid_seconds: List[float] = field(default_factory=list)
 
 
 def weighted_epoch_loss(batch_losses: Sequence[Tuple[float, int]]) -> float:
@@ -217,11 +223,13 @@ class MatchTrainer:
                 t_optim += time.perf_counter() - t0
                 losses.append((loss.item(), len(labels)))
             report.epoch_losses.append(weighted_epoch_loss(losses))
+            v_epoch = 0.0
             if track_valid:
                 t0 = time.perf_counter()
                 valid_scores = self._predict_encoded(encoded_valid)
                 f1 = classification_metrics(valid_labels, valid_scores >= 0.5).f1
-                t_valid += time.perf_counter() - t0
+                v_epoch = time.perf_counter() - t0
+                t_valid += v_epoch
                 report.valid_f1_curve.append(f1)
                 if f1 > best_f1:
                     best_f1 = f1
@@ -233,6 +241,7 @@ class MatchTrainer:
                     best_opt_state = optimizer.state_export()
                     report.best_epoch = epoch
             report.epoch_seconds.append(time.perf_counter() - t_epoch)
+            report.epoch_valid_seconds.append(v_epoch)
         report.timings["train"] = time.perf_counter() - t_train
         report.timings["optimize"] = t_optim
         report.timings["valid"] = t_valid
@@ -282,6 +291,20 @@ class MatchTrainer:
                 if key in opt_state:
                     extra_arrays[f"opt.{key}"] = np.asarray(opt_state[key])
         save_state(self.model, path, meta=meta, extra=extra_arrays or None)
+
+    def save_bytes(self, extra_meta: Optional[dict] = None) -> bytes:
+        """The checkpoint :meth:`save` would write, as in-memory bytes.
+
+        Grid pool workers use this to hand a finished model back to the
+        parent over a pipe — the parent commits it through the store's
+        batched writer, so worker processes never touch the store and a
+        killed worker cannot leave it half-written.
+        """
+        import io
+
+        buf = io.BytesIO()
+        self.save(buf, extra_meta=extra_meta)
+        return buf.getvalue()
 
     @classmethod
     def load(cls, path) -> "MatchTrainer":

@@ -17,7 +17,8 @@ With an :class:`~repro.artifacts.ArtifactStore` attached (directly or via
 ``DataConfig.artifact_dir``), already-compiled samples load from disk —
 skipping generation, parsing, optimization, codegen and decompilation
 entirely — and :meth:`CorpusBuilder.build_parallel` fans the cold
-compiles out over a multiprocessing pool while keeping sample order (and
+compiles out over the process-wide warm worker pool
+(:func:`repro.exec.pool.get_pool`) while keeping sample order (and
 sample bytes) identical to the serial path.
 """
 
@@ -322,16 +323,23 @@ class CorpusBuilder:
                 and self.artifact_key(*item, opt_level, compiler) not in self.store
             ]
             if todo and workers > 1:
+                # Function-local import: repro.exec imports repro.data.pairs
+                # (via the runner), which imports this module — the pool is
+                # only needed on the parallel path anyway.
+                from repro.exec.pool import get_pool
+
                 # Strided chunks over min(workers, len(todo)) are all
                 # non-empty, so the pool never exceeds the requested
-                # worker count and never holds idle processes.
+                # worker count and never holds idle processes.  The pool
+                # itself is the process-wide warm one: repeated builds
+                # (bench loops, multi-language corpora) reuse resident
+                # workers instead of paying a fork+import per call.
                 fan_out = min(workers, len(todo))
                 payloads = [
-                    (self.config, str(self.store.root), todo[i::fan_out], opt_level, compiler)
+                    ((self.config, str(self.store.root), todo[i::fan_out], opt_level, compiler),)
                     for i in range(fan_out)
                 ]
-                with multiprocessing.Pool(fan_out) as pool:
-                    pool.map(_compile_chunk, payloads)
+                get_pool(fan_out).run(_compile_chunk, payloads)
             elif todo:
                 _compile_chunk(
                     (self.config, str(self.store.root), todo, opt_level, compiler)

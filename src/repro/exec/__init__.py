@@ -13,9 +13,11 @@ runs*:
   else (reloaded trainers are fingerprint-equal, so metric rows are
   identical);
 * :func:`run_grid` — fan the independent trainings of a table across
-  worker processes with results identical to the serial path.
+  persistent :class:`WarmPool` workers (shared datasets, batched store
+  commits) with results identical to the serial path.
 """
 
+from repro.exec.pool import JobFailed, SharedRef, WarmPool, get_pool, shutdown_pools
 from repro.exec.runner import (
     ExperimentRun,
     ExperimentSpec,
@@ -24,15 +26,21 @@ from repro.exec.runner import (
     run_experiment,
     run_grid,
 )
-from repro.exec.store import RUNNER_VERSION, ModelStore
+from repro.exec.store import RUNNER_VERSION, BatchedModelWriter, ModelStore
 
 __all__ = [
+    "BatchedModelWriter",
     "ExperimentRun",
     "ExperimentSpec",
+    "JobFailed",
     "ModelStore",
     "RUNNER_VERSION",
+    "SharedRef",
+    "WarmPool",
     "dataset_fingerprint",
     "experiment_fingerprint",
+    "get_pool",
     "run_experiment",
     "run_grid",
+    "shutdown_pools",
 ]

@@ -11,16 +11,19 @@ fraction of a percent of the training cost.
 
 :func:`run_grid` runs the *independent* trainings of a table — Table IV/V
 train ten models, the ablation benches eight — and can fan cold runs
-across a multiprocessing pool.  Workers only fill the store; the parent
-then loads every entry in order, so grid output is identical to the
-serial path by construction.
+across a persistent :class:`~repro.exec.pool.WarmPool`.  Workers receive
+the dataset once (fork copy-on-write, or one shared-memory pickle under
+spawn) instead of a fresh copy per job, return checkpoint *bytes* that
+the parent commits through a :class:`~repro.exec.store.BatchedModelWriter`
+— workers never write the store, so a killed worker cannot corrupt it —
+and the parent then loads every entry in order, so grid output is
+identical to the serial path by construction.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import multiprocessing
 import shutil
 import tempfile
 import time
@@ -31,7 +34,8 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.config import ModelConfig
 from repro.core.trainer import MatchTrainer, TrainReport
 from repro.data.pairs import PairDataset
-from repro.exec.store import RUNNER_VERSION, ModelStore
+from repro.exec.pool import SharedRef, WarmPool, get_pool
+from repro.exec.store import RUNNER_VERSION, BatchedModelWriter, ModelStore
 
 PathLike = str
 
@@ -192,63 +196,105 @@ def run_experiment(
     )
 
 
-def _train_into_store(payload) -> str:
-    """Worker entry point: train one grid job and persist it to the store."""
-    spec, dataset, store_root, fingerprint = payload
-    store = ModelStore(store_root)
-    if fingerprint not in store:
-        trainer = MatchTrainer(spec.config)
-        t0 = time.perf_counter()
-        report = trainer.train(dataset, early_stopping=spec.early_stopping)
-        store.put(
-            fingerprint, trainer, _report_meta(spec, report, time.perf_counter() - t0)
-        )
-    return fingerprint
+def _pool_train_job(
+    spec: ExperimentSpec, dataset: PairDataset, fingerprint: str
+) -> Tuple[str, bytes]:
+    """Warm-pool job: train one grid entry, return the checkpoint as bytes.
+
+    The worker never opens the store — the parent commits the returned
+    payload through its batched writer, so a worker killed mid-train (or
+    mid-serialize) leaves no trace on disk.
+    """
+    trainer = MatchTrainer(spec.config)
+    t0 = time.perf_counter()
+    report = trainer.train(dataset, early_stopping=spec.early_stopping)
+    meta = _report_meta(spec, report, time.perf_counter() - t0)
+    return fingerprint, trainer.save_bytes(
+        extra_meta={"experiment": {**meta, "fingerprint": fingerprint}}
+    )
+
+
+def _fill_store_parallel(
+    todo: List[Tuple[ExperimentSpec, PairDataset, str]],
+    store: ModelStore,
+    workers: int,
+    start_method: Optional[str],
+    pool: Optional[WarmPool],
+) -> None:
+    """Train every ``todo`` entry into ``store`` via the warm pool."""
+    if len(todo) == 1 and pool is None:
+        # One cold job: the pool buys nothing, train inline.
+        fp, payload = _pool_train_job(*todo[0])
+        store.put_bytes(fp, payload)
+        return
+    if pool is None:
+        pool = get_pool(min(workers, len(todo)), start_method)
+    keys: List[str] = []
+    payloads: List[Tuple] = []
+    for spec, dataset, fp in todo:
+        # Share each distinct dataset once; jobs carry a reference, not a
+        # pickled copy (fork workers resolve it copy-on-write, spawn
+        # workers through one shared-memory pickle).
+        key = f"grid-dataset-{dataset_fingerprint(dataset)[:16]}"
+        pool.share(key, dataset)
+        keys.append(key)
+        payloads.append((spec, SharedRef(key), fp))
+    try:
+        with BatchedModelWriter(store) as writer:
+            for fp, payload in pool.run(_pool_train_job, payloads):
+                writer.add(fp, payload)
+    finally:
+        for key in dict.fromkeys(keys):
+            pool.unshare(key)
 
 
 def run_grid(
     jobs: Sequence[Tuple[ExperimentSpec, PairDataset]],
     store: Optional[ModelStore] = None,
     workers: int = 0,
+    start_method: Optional[str] = None,
+    pool: Optional[WarmPool] = None,
 ) -> List[ExperimentRun]:
     """Run a table's independent trainings, optionally across processes.
 
     Each job's RNG streams derive only from its own ``config.seed``, so
     jobs are independent and the parallel schedule cannot change any
-    result: with ``workers > 1`` the cold jobs are fanned over a
-    multiprocessing pool that only *fills the store*, and every run —
-    warm or cold — is then materialized in order through
-    :func:`run_experiment`, making grid output identical to the serial
-    path by construction.  Without a store, parallel runs use a temporary
-    one for the duration of the call.
+    result: with ``workers > 1`` (or an explicit ``pool``) the cold jobs
+    are fanned over a persistent :class:`~repro.exec.pool.WarmPool` that
+    only *fills the store* — workers return checkpoint bytes, the parent
+    commits them — and every run, warm or cold, is then materialized in
+    order through :func:`run_experiment`, making grid output identical to
+    the serial path by construction.  ``start_method`` picks the pool's
+    multiprocessing start method (default: the platform's); pass ``pool``
+    to reuse a caller-owned pool.  Without a store, parallel runs use a
+    temporary one for the duration of the call.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     jobs = list(jobs)
+    fan_out = pool is not None or workers > 1
     scratch: Optional[str] = None
-    if store is None and workers > 1 and len(jobs) > 1:
+    if store is None and fan_out and len(jobs) > 1:
         scratch = tempfile.mkdtemp(prefix="repro-models-")
         store = ModelStore(scratch)
     try:
-        if store is not None and workers > 1:
+        if store is not None and fan_out:
             fps: List[str] = [
                 experiment_fingerprint(spec, dataset_fingerprint(dataset))
                 for spec, dataset in jobs
             ]
             todo = [
-                (spec, dataset, str(store.root), fp)
+                (spec, dataset, fp)
                 for (spec, dataset), fp in zip(jobs, fps)
                 if fp not in store
             ]
-            # Deduplicate by fingerprint so two same-config jobs don't train
-            # twice; strided chunks keep every pool slot busy.
-            todo = list({payload[3]: payload for payload in todo}.values())
-            if len(todo) > 1:
-                fan_out = min(workers, len(todo))
-                with multiprocessing.Pool(fan_out) as pool:
-                    pool.map(_train_into_store, todo)
-            elif todo:
-                _train_into_store(todo[0])
+            # Deduplicate by fingerprint so two same-config jobs don't
+            # train twice.
+            todo = list({entry[2]: entry for entry in todo}.values())
+            if todo:
+                _fill_store_parallel(
+                    todo, store, max(workers, 1), start_method, pool
+                )
         return [run_experiment(spec, dataset, store=store) for spec, dataset in jobs]
     finally:
         if scratch is not None:

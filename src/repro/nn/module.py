@@ -15,11 +15,31 @@ from repro.nn.tensor import Tensor
 
 
 class Parameter(Tensor):
-    """A trainable leaf tensor (``requires_grad=True`` by construction)."""
+    """A trainable leaf tensor (``requires_grad=True`` by construction).
+
+    A fused optimizer (:class:`repro.nn.optim.ParameterArena`) may attach
+    :attr:`grad_buffer` — a preallocated view into its flat gradient
+    buffer.  Backward then accumulates *directly into the arena*, so the
+    optimizer's gather step has nothing left to copy.
+    """
 
     def __init__(self, data, name: str = ""):  # noqa: D107
         super().__init__(np.asarray(data, dtype=np.float32), requires_grad=True)
         self.name = name
+        self.grad_buffer: "np.ndarray | None" = None
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        buf = self.grad_buffer
+        if buf is None:
+            Tensor._accumulate(self, grad)
+            return
+        if self.grad is None:
+            # Mirror the base path bit-for-bit: a zeroed buffer plus `+=`
+            # (never `copyto`) keeps ±0.0 and dtype-promotion behavior
+            # identical to the freshly-allocated-zeros reference.
+            buf.fill(0.0)
+            self.grad = buf
+        self.grad += grad
 
 
 class Module:

@@ -20,11 +20,63 @@ the loop skips them (their moments and weights are left untouched).  Pass
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.nn.module import Parameter
+
+
+class SharedArenaState:
+    """A flat arena snapshot living in POSIX shared memory.
+
+    :meth:`ParameterArena.state_export` with ``shared=True`` returns one of
+    these instead of a heap copy: the weights land in a named
+    ``repro-shm-*`` segment that any process can :meth:`attach` by
+    ``(name, size)`` — parallel trainings exchange weights without
+    pickling float buffers through a pipe.  The creating process owns the
+    segment and must :meth:`unlink` it; attachments just :meth:`close`.
+    """
+
+    def __init__(self, block, size: int, owner: bool):  # noqa: D107
+        self._block = block
+        self.size = int(size)
+        self.owner = bool(owner)
+
+    @classmethod
+    def from_array(cls, flat: np.ndarray) -> "SharedArenaState":
+        """Copy ``flat`` (float32) into a fresh shared segment."""
+        from repro.utils.shm import SharedBlock
+
+        flat = np.ascontiguousarray(flat, dtype=np.float32)
+        block = SharedBlock.create(max(flat.nbytes, 1))
+        np.frombuffer(block.buf, dtype=np.float32, count=flat.size)[:] = flat
+        return cls(block, flat.size, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, size: int) -> "SharedArenaState":
+        """Map a segment exported by another process (read/write view)."""
+        from repro.utils.shm import SharedBlock
+
+        block = SharedBlock.attach(name, max(size * 4, 1))
+        return cls(block, size, owner=False)
+
+    @property
+    def name(self) -> str:
+        """Segment name; pass with :attr:`size` to :meth:`attach`."""
+        return self._block.name
+
+    def array(self) -> np.ndarray:
+        """The shared weights as a float32 array view (no copy)."""
+        return np.frombuffer(self._block.buf, dtype=np.float32, count=self.size)
+
+    def close(self) -> None:
+        """Drop this process's mapping."""
+        self._block.close()
+
+    def unlink(self) -> None:
+        """Remove the segment system-wide (owner's duty; idempotent)."""
+        self._block.unlink()
 
 
 class ParameterArena:
@@ -32,11 +84,13 @@ class ParameterArena:
 
     On construction every parameter's ``.data`` is copied into one float32
     buffer and replaced by a *view* into it, so a single in-place op on
-    :attr:`flat` updates every weight.  Gradients live outside the arena
-    (autograd allocates them per step); :meth:`gather` copies them into
-    :attr:`grad_flat` — one small ``copyto`` per parameter — and reports
-    which slices had no gradient so steps can skip them exactly like the
-    reference loop.
+    :attr:`flat` updates every weight.  Gradients get the same treatment
+    in the other direction: each parameter's :attr:`~Parameter.grad_buffer`
+    is attached to a view of :attr:`grad_flat`, so backward accumulates
+    straight into the arena and :meth:`gather` usually has nothing to copy
+    — it only reports which slices had no gradient (zeroing them) so steps
+    can skip them exactly like the reference loop, and falls back to a
+    ``copyto`` for gradients assigned externally (tests do this).
 
     The arena re-adopts parameters whose ``.data`` was reassigned from
     outside (e.g. ``load_state_dict`` during early stopping), so it is
@@ -55,11 +109,15 @@ class ParameterArena:
         self.flat = np.zeros(self.size, dtype=np.float32)
         self.grad_flat = np.zeros(self.size, dtype=np.float32)
         self._views: List[np.ndarray] = []
+        self.grad_views: List[np.ndarray] = []
         for p, (o, n) in zip(self.params, self.slices):
             self.flat[o : o + n] = np.asarray(p.data, dtype=np.float32).ravel()
             view = self.flat[o : o + n].reshape(p.data.shape)
             p.data = view
             self._views.append(view)
+            gview = self.grad_flat[o : o + n].reshape(view.shape)
+            p.grad_buffer = gview
+            self.grad_views.append(gview)
 
     # ------------------------------------------------------------- adoption
     def adopt(self) -> None:
@@ -75,21 +133,52 @@ class ParameterArena:
                 p.data = view
 
     def gather(self) -> List[int]:
-        """Copy per-parameter grads into :attr:`grad_flat`.
+        """Make :attr:`grad_flat` consistent with the per-parameter grads.
 
-        Returns the indices of parameters whose ``grad`` is ``None``; their
-        slices of the flat buffer are zeroed so norm computations see no
-        stale values.
+        Gradients accumulated through :attr:`~Parameter.grad_buffer` are
+        *already there* (the fast path — no copy); externally-assigned
+        arrays are copied in.  Returns the indices of parameters whose
+        ``grad`` is ``None``; their slices of the flat buffer are zeroed
+        so norm computations see no stale values.
         """
         missing: List[int] = []
         gf = self.grad_flat
-        for i, (p, (o, n)) in enumerate(zip(self.params, self.slices)):
-            if p.grad is None:
+        for i, (p, gview, (o, n)) in enumerate(
+            zip(self.params, self.grad_views, self.slices)
+        ):
+            g = p.grad
+            if g is None:
                 gf[o : o + n] = 0.0
                 missing.append(i)
-            else:
-                np.copyto(gf[o : o + n], p.grad.ravel())
+            elif g is not gview:
+                np.copyto(gf[o : o + n], g.ravel())
         return missing
+
+    # -------------------------------------------------------- checkpointing
+    def state_export(
+        self, shared: bool = False
+    ) -> Union[np.ndarray, SharedArenaState]:
+        """Snapshot the flat weights — a heap copy, or shared memory.
+
+        ``shared=True`` places the copy in a named shared-memory segment
+        (:class:`SharedArenaState`) so another process can attach it
+        without any serialization; the caller owns the segment's lifetime.
+        """
+        if shared:
+            return SharedArenaState.from_array(self.flat)
+        return self.flat.copy()
+
+    def state_import(self, state: Union[np.ndarray, SharedArenaState]) -> None:
+        """Restore a :meth:`state_export` snapshot (either flavor), bit-exact."""
+        arr = state.array() if isinstance(state, SharedArenaState) else state
+        arr = np.asarray(arr, dtype=np.float32).ravel()
+        if arr.size != self.size:
+            raise ValueError(
+                f"arena state size mismatch: snapshot has {arr.size} "
+                f"elements, arena holds {self.size}"
+            )
+        self.adopt()  # external surgery first, so the import wins cleanly
+        self.flat[:] = arr
 
 
 class Optimizer:
@@ -103,11 +192,55 @@ class Optimizer:
         )
         self._gathered = False
         self._missing: List[int] = []
+        # Gradient-accumulation buffer: per-parameter sums folded in by
+        # accumulate(), consumed (as the effective gradients) by the next
+        # clip_grad_norm()/step().  None = no accumulation in flight.
+        self._acc: Optional[List[Optional[np.ndarray]]] = None
 
     def zero_grad(self) -> None:
-        """Clear every parameter's gradient."""
+        """Clear every parameter's gradient (accumulated sums survive)."""
         for p in self.params:
             p.grad = None
+        self._gathered = False
+
+    # --------------------------------------------------------- accumulation
+    def accumulate(self, scale: float = 1.0) -> None:
+        """Fold the current micro-batch gradients into the accumulation sum.
+
+        Call once per micro-batch (after ``backward()``); the next
+        :meth:`clip_grad_norm` / :meth:`step` then sees the sum as if one
+        large batch had produced it.  ``scale`` weights this micro-batch —
+        pass ``1/k`` so k equal micro-batches reproduce the mean gradient
+        of the combined batch (bit-exactly when ``k`` is a power of two,
+        since scaling and summing are then exact in float32).  Parameters
+        with ``grad is None`` contribute nothing; a parameter that never
+        contributes stays missing, exactly like a skipped parameter in a
+        single-batch step.  Gradients are cleared afterwards so the next
+        micro-batch starts clean.
+        """
+        if self._acc is None:
+            self._acc = [None] * len(self.params)
+        s = np.float32(scale)
+        for i, p in enumerate(self.params):
+            g = p.grad
+            if g is None:
+                continue
+            contrib = g if scale == 1.0 else g * s
+            if self._acc[i] is None:
+                self._acc[i] = np.array(contrib, dtype=np.float32, copy=True)
+            else:
+                self._acc[i] += contrib
+            p.grad = None
+        self._gathered = False
+
+    def _materialize_accumulated(self) -> None:
+        """Expose the accumulated sums as the parameters' gradients."""
+        acc = self._acc
+        if acc is None:
+            return
+        self._acc = None
+        for p, g in zip(self.params, acc):
+            p.grad = g  # None stays None: the parameter never contributed
         self._gathered = False
 
     def clip_grad_norm(self, max_norm: float) -> float:
@@ -124,6 +257,7 @@ class Optimizer:
         so external inspection stays consistent.  Falls back to the
         reference implementation when not fused.
         """
+        self._materialize_accumulated()
         if self.arena is None:
             from repro.nn.functional import clip_grad_norm as _clip
 
@@ -139,14 +273,17 @@ class Optimizer:
         if norm > max_norm and norm > 0:
             scale = max_norm / norm
             gf *= scale
-            for p in self.params:
-                if p.grad is not None:
+            for p, gview in zip(self.params, self.arena.grad_views):
+                # View-backed grads live *in* gf and were just scaled; a
+                # second in-place multiply would square the scale on them.
+                if p.grad is not None and p.grad is not gview:
                     p.grad *= scale
         return norm
 
     def _prepare_fused(self) -> List[int]:
         """Adopt external edits and make sure grads are gathered."""
         assert self.arena is not None
+        self._materialize_accumulated()
         self.arena.adopt()
         if not self._gathered:
             self._missing = self.arena.gather()
@@ -214,6 +351,7 @@ class SGD(Optimizer):
         if self.arena is not None:
             self._step_fused()
             return
+        self._materialize_accumulated()
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
@@ -299,6 +437,7 @@ class Adam(Optimizer):
         if self.arena is not None:
             self._step_fused()
             return
+        self._materialize_accumulated()
         self.t += 1
         b1t = 1.0 - self.beta1**self.t
         b2t = 1.0 - self.beta2**self.t

@@ -34,7 +34,10 @@ def save_state(
     ``extra`` arrays ride along under an ``extra:`` key prefix — outside
     the module state, so :func:`load_state`'s strict state check ignores
     them (optimizer moments use this; see ``MatchTrainer.save``).  The
-    ``.npz`` extension is appended by NumPy if missing.
+    ``.npz`` extension is appended by NumPy if missing.  ``path`` may also
+    be a binary file object (e.g. ``BytesIO``): grid workers serialize
+    checkpoints to bytes and ship them to the parent's batched store
+    writer instead of touching the store themselves.
     """
     state = module.state_dict()
     payload: Dict[str, np.ndarray] = dict(state)
@@ -45,7 +48,8 @@ def save_state(
         payload[_META_KEY] = np.frombuffer(
             json.dumps(meta).encode("utf-8"), dtype=np.uint8
         )
-    np.savez_compressed(str(path), **payload)
+    target = path if hasattr(path, "write") else str(path)
+    np.savez_compressed(target, **payload)
 
 
 def load_state(module: Module, path: PathLike) -> Optional[dict]:

@@ -1,0 +1,51 @@
+"""Shared pytest plumbing: an opt-in per-test timeout.
+
+A hung warm-pool worker (deadlocked pipe, orphaned child waiting on a
+parent that already failed) would otherwise stall the whole suite until
+the CI job's global timeout fires — long after the interesting stack is
+gone.  ``REPRO_TEST_TIMEOUT=<seconds>`` (set by ``scripts/verify.sh`` and
+the CI workflow; unset for interactive runs so debuggers are usable) arms
+a ``SIGALRM`` around every test and fails the offender with a Python
+traceback pointing at the blocked line.
+
+No third-party plugin (pytest-timeout is not in the image); SIGALRM is
+main-thread-only and Unix-only, which matches how the suite runs.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+
+def _timeout_seconds() -> float:
+    raw = os.environ.get("REPRO_TEST_TIMEOUT", "").strip()
+    if not raw:
+        return 0.0
+    try:
+        return max(float(raw), 0.0)
+    except ValueError:
+        return 0.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _timeout_seconds()
+    if seconds <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded REPRO_TEST_TIMEOUT={seconds:g}s: {item.nodeid}"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -310,30 +310,23 @@ class TestColdWarmParallelBuilds:
         once, so the clamp does not drop work.
         """
         import repro.data.corpus as corpus_mod
+        import repro.exec.pool as pool_mod
 
         created = []
         chunks_seen = []
 
         class FakePool:
-            def __init__(self, processes):
-                created.append(processes)
-
-            def __enter__(self):
-                return self
-
-            def __exit__(self, *exc):
-                return False
-
-            def map(self, fn, payloads):
+            def run(self, fn, payloads):
                 for payload in payloads:
-                    chunks_seen.append(list(payload[2]))
-                return [fn(p) for p in payloads]
+                    chunks_seen.append(list(payload[0][2]))
+                return [fn(*p) for p in payloads]
 
-        class FakeMP:
-            Pool = FakePool
-            cpu_count = staticmethod(lambda: 64)
+        def fake_get_pool(workers, start_method=None):
+            created.append(workers)
+            return FakePool()
 
-        monkeypatch.setattr(corpus_mod, "multiprocessing", FakeMP)
+        monkeypatch.setattr(pool_mod, "get_pool", fake_get_pool)
+        monkeypatch.setattr(corpus_mod.multiprocessing, "cpu_count", lambda: 64)
         cfg = DataConfig(artifact_dir=str(tmp_path / "store"), **self.CFG)
         builder = CorpusBuilder(cfg)
         par = builder.build_parallel(["c"], workers=3)
